@@ -1,0 +1,25 @@
+//! Criterion end-to-end benchmark: the full memory-system simulation
+//! (trace → SC → prefetcher → LPDDR4) per evaluated prefetcher — the
+//! figure-regeneration workhorse, measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use planaria_sim::experiment::{run_trace, PrefetcherKind};
+use planaria_trace::apps::{profile, AppId};
+
+const TRACE_LEN: usize = 100_000;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let trace = profile(AppId::Cfm).scaled(TRACE_LEN).build();
+    let mut group = c.benchmark_group("full_system");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TRACE_LEN as u64));
+    for kind in PrefetcherKind::FIGURE_SET {
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| run_trace(&trace, kind).hit_rate)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

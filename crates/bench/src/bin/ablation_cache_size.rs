@@ -1,0 +1,48 @@
+//! Ablation — SC capacity (paper §1 motivation).
+//!
+//! Sweeps the system-cache size with no prefetcher and compares against
+//! Planaria on the baseline 4 MB: the paper's point is that doubling (or
+//! quadrupling) the SRAM budget buys far less than 345 KB of prefetcher
+//! metadata does.
+//!
+//! ```sh
+//! cargo run --release -p planaria-bench --bin ablation_cache_size [--len N]
+//! ```
+
+use planaria_bench::HarnessArgs;
+use planaria_sim::experiment::{run_trace_with, PrefetcherKind};
+use planaria_sim::table::{pct0, TextTable};
+use planaria_sim::SystemConfig;
+use planaria_trace::apps::profile;
+
+const SIZES_MB: [u64; 4] = [2, 4, 8, 16];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("Ablation: SC capacity (no prefetcher) vs Planaria at 4 MB\n");
+
+    let mut header: Vec<String> = vec!["app".into()];
+    header.extend(SIZES_MB.iter().map(|mb| format!("{mb} MB")));
+    header.push("4 MB+Planaria".into());
+    let mut t = TextTable::new(header);
+
+    for &app in &args.apps {
+        let trace = profile(app).scaled(args.len_for(app)).build();
+        let mut cells = vec![app.abbr().to_string()];
+        for &mb in &SIZES_MB {
+            let mut cfg = SystemConfig::default();
+            cfg.cache = cfg.cache.with_size(mb << 20);
+            let r = run_trace_with(&trace, PrefetcherKind::None, cfg);
+            cells.push(pct0(r.hit_rate));
+        }
+        let planaria = run_trace_with(&trace, PrefetcherKind::Planaria, SystemConfig::default());
+        cells.push(pct0(planaria.hit_rate));
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper shape: growing the SC yields shallow gains against footprint\n\
+         working sets with long reuse distance; Planaria at 4 MB beats much\n\
+         larger prefetch-less caches."
+    );
+}

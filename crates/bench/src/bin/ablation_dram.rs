@@ -1,0 +1,68 @@
+//! Ablation — memory-controller policies under Planaria.
+//!
+//! * **Scheduler**: FR-FCFS (default) vs strict FCFS — how much of the
+//!   system's performance comes from row-hit-first scheduling, which
+//!   Planaria's page-bursting prefetches feed.
+//! * **CKE power-down**: on vs off — the LPDDR low-power mechanism that
+//!   Table 1's tCKE/tXP parameters model.
+//!
+//! ```sh
+//! cargo run --release -p planaria-bench --bin ablation_dram [--len N]
+//! ```
+
+use planaria_bench::HarnessArgs;
+use planaria_dram::{PagePolicy, SchedulerKind};
+use planaria_sim::experiment::{run_trace_with, PrefetcherKind};
+use planaria_sim::table::{pct0, TextTable};
+use planaria_sim::SystemConfig;
+use planaria_trace::apps::profile;
+
+fn main() {
+    let mut args = HarnessArgs::from_env();
+    if args.apps.len() == 10 {
+        args.apps = vec![
+            planaria_trace::apps::AppId::Cfm,
+            planaria_trace::apps::AppId::TikT,
+            planaria_trace::apps::AppId::Pm,
+        ];
+    }
+    println!("Ablation: DRAM scheduler and power-down (Planaria prefetcher)\n");
+
+    let mut t = TextTable::new([
+        "app",
+        "FR-FCFS AMAT",
+        "FCFS AMAT",
+        "closed-pg AMAT",
+        "row-hit FR/closed",
+        "power PD-on",
+        "power PD-off",
+    ]);
+    for &app in &args.apps {
+        let trace = profile(app).scaled(args.len_for(app)).build();
+        let run = |sched, powerdown, page| {
+            let mut cfg = SystemConfig::default();
+            cfg.dram = cfg.dram.with_scheduler(sched).with_page_policy(page);
+            cfg.dram.powerdown = powerdown;
+            run_trace_with(&trace, PrefetcherKind::Planaria, cfg)
+        };
+        let frfcfs = run(SchedulerKind::FrFcfs, true, PagePolicy::Open);
+        let fcfs = run(SchedulerKind::Fcfs, true, PagePolicy::Open);
+        let closed = run(SchedulerKind::FrFcfs, true, PagePolicy::Closed);
+        let no_pd = run(SchedulerKind::FrFcfs, false, PagePolicy::Open);
+        t.row([
+            app.abbr().to_string(),
+            format!("{:.1}", frfcfs.amat_cycles),
+            format!("{:.1}", fcfs.amat_cycles),
+            format!("{:.1}", closed.amat_cycles),
+            format!("{} / {}", pct0(frfcfs.dram_row_hit_rate), pct0(closed.dram_row_hit_rate)),
+            format!("{:.1} mW", frfcfs.power_mw),
+            format!("{:.1} mW", no_pd.power_mw),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Expected shapes: FCFS costs AMAT by forgoing row-hit reordering;\n\
+         closed-page forfeits the row hits Planaria's page bursts create;\n\
+         disabling power-down raises background power on idle channels."
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 5 — fraction of learnable neighbouring pages per application.
+//!
+//! Paper result: on average 26.95% of pages have a learnable neighbour at
+//! distance threshold 4, rising to 39.26% at threshold 64.
+//!
+//! ```sh
+//! cargo run --release -p planaria-bench --bin fig5_neighbors [--len N|--full]
+//! ```
+
+use planaria_analysis::learnable_fraction;
+use planaria_bench::HarnessArgs;
+use planaria_sim::experiment::mean;
+use planaria_sim::table::{pct0, TextTable};
+use planaria_trace::apps::profile;
+
+const THRESHOLDS: [u64; 3] = [4, 16, 64];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!(
+        "Figure 5: proportion of learnable neighbouring pages\n\
+         (bitmap difference ≤ 4 bits; paper averages: 26.95% @4, 39.26% @64)\n"
+    );
+
+    let mut t = TextTable::new(["app", "dist ≤ 4", "dist ≤ 16", "dist ≤ 64", "pages"]);
+    let mut per_threshold: Vec<Vec<f64>> = vec![Vec::new(); THRESHOLDS.len()];
+    for &app in &args.apps {
+        let trace = profile(app).scaled(args.len_for(app)).build();
+        let mut cells = vec![app.abbr().to_string()];
+        let mut pages = 0;
+        for (i, &d) in THRESHOLDS.iter().enumerate() {
+            let r = learnable_fraction(&trace, d);
+            per_threshold[i].push(r.learnable_fraction);
+            cells.push(pct0(r.learnable_fraction));
+            pages = r.total_pages;
+        }
+        cells.push(pages.to_string());
+        t.row(cells);
+    }
+    let mut avg_cells = vec!["avg".to_string()];
+    for col in &per_threshold {
+        avg_cells.push(pct0(mean(col.iter().copied())));
+    }
+    avg_cells.push(String::new());
+    t.rule().row(avg_cells);
+    println!("{}", t.render());
+    println!(
+        "paper: the learnable fraction grows with the distance threshold\n\
+         (≈27% at 4 → ≈39% at 64); the measured averages above follow the\n\
+         same monotone shape."
+    );
+}

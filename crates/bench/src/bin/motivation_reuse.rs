@@ -1,0 +1,53 @@
+//! Motivation — block reuse-distance distribution per application.
+//!
+//! Quantifies Observation 1's temporal half ("the reuse distance of the
+//! snapshots is usually long") and the §1 claim that neither replacement
+//! policies nor modest capacity growth rescue the SC: reuses beyond the
+//! cache's block capacity (65 536 blocks for 4 MB) cannot hit under any
+//! stack-property policy, and only the band between old and new capacity
+//! benefits from growing the cache.
+//!
+//! ```sh
+//! cargo run --release -p planaria-bench --bin motivation_reuse [--len N]
+//! ```
+
+use planaria_analysis::reuse_histogram;
+use planaria_bench::HarnessArgs;
+use planaria_sim::table::{pct0, TextTable};
+use planaria_trace::apps::profile;
+
+/// 4 MB / 64 B blocks.
+const SC_BLOCKS: u64 = 65_536;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("Motivation: block reuse distances (SC capacity = {SC_BLOCKS} blocks)\n");
+
+    let mut t = TextTable::new([
+        "app",
+        "cold",
+        "median dist",
+        "≥ SC capacity",
+        "≥ 2× capacity",
+        "≥ 4× capacity",
+    ]);
+    for &app in &args.apps {
+        let trace = profile(app).scaled(args.len_for(app)).build();
+        let r = reuse_histogram(&trace);
+        t.row([
+            app.abbr().to_string(),
+            pct0(r.cold as f64 / r.accesses.max(1) as f64),
+            r.median_distance().map_or("—".into(), |d| format!("≥{d}")),
+            pct0(r.fraction_at_least(SC_BLOCKS)),
+            pct0(r.fraction_at_least(2 * SC_BLOCKS)),
+            pct0(r.fraction_at_least(4 * SC_BLOCKS)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reuses at or beyond the SC's capacity are LRU-hopeless: no\n\
+         replacement tweak recovers them, and doubling the cache only\n\
+         rescues the thin band between the two capacity columns — the\n\
+         motivation for prefetching rather than resizing (paper §1)."
+    );
+}

@@ -1,0 +1,40 @@
+//! Table 2 — the targeted representative applications, plus summary
+//! statistics of the synthetic traces standing in for them.
+//!
+//! ```sh
+//! cargo run --release -p planaria-bench --bin table2_workloads [--len N]
+//! ```
+
+use planaria_bench::HarnessArgs;
+use planaria_sim::table::{pct0, TextTable};
+use planaria_trace::apps::profile;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("Table 2: the targeted representative applications\n");
+
+    let mut t = TextTable::new([
+        "workload",
+        "description",
+        "paper len (M)",
+        "abbr",
+        "trace pages",
+        "reads",
+    ]);
+    for &app in &args.apps {
+        let trace = profile(app).scaled(args.len_for(app)).build();
+        t.row([
+            app.name().to_string(),
+            app.description().to_string(),
+            format!("{:.2}", app.paper_length_m()),
+            app.abbr().to_string(),
+            trace.unique_pages().to_string(),
+            pct0(trace.read_fraction()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(The paper's traces are proprietary bus captures; these synthetic\n\
+         stand-ins reproduce their measured regularities — see DESIGN.md.)"
+    );
+}

@@ -1,0 +1,154 @@
+//! Shared helpers for the figure-harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper.
+//! They share a tiny command-line convention:
+//!
+//! * `--len <N>` — accesses per application trace (default 1,000,000;
+//!   large enough for several training rounds of every app's working set);
+//! * `--full` — use the paper's full Table 2 lengths (~67–71 M accesses
+//!   per app; slow but exact);
+//! * `--apps CFM,HoK,...` — restrict to a subset of applications.
+//!
+//! Output is an aligned text table (one row per app plus an average row) —
+//! the faithful terminal rendering of the paper's bar charts.
+
+#![forbid(unsafe_code)]
+
+use planaria_sim::experiment::{run_trace, PrefetcherKind};
+use planaria_sim::SimResult;
+use planaria_trace::apps::{profile, AppId};
+
+/// Default per-app trace length for figure regeneration.
+pub const DEFAULT_LEN: usize = 1_000_000;
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Accesses per application trace (`None` = the paper's full length).
+    pub len: Option<usize>,
+    /// Applications to run.
+    pub apps: Vec<AppId>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self { len: Some(DEFAULT_LEN), apps: AppId::ALL.to_vec() }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`-style arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments (these are
+    /// developer-facing harnesses, not a user CLI).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--len" => {
+                    let v = it.next().expect("--len needs a value");
+                    out.len = Some(v.replace('_', "").parse().expect("--len must be an integer"));
+                }
+                "--full" => out.len = None,
+                "--apps" => {
+                    let v = it.next().expect("--apps needs a comma-separated list");
+                    out.apps = v
+                        .split(',')
+                        .map(|abbr| {
+                            AppId::ALL
+                                .into_iter()
+                                .find(|a| a.abbr().eq_ignore_ascii_case(abbr.trim()))
+                                .unwrap_or_else(|| panic!("unknown app abbreviation {abbr:?}"))
+                        })
+                        .collect();
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--len N | --full] [--apps CFM,HoK,...]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?} (try --help)"),
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The effective trace length for `app`.
+    pub fn len_for(&self, app: AppId) -> usize {
+        self.len
+            .unwrap_or_else(|| (app.paper_length_m() * 1_000_000.0) as usize)
+    }
+
+    /// Builds each selected app's trace and runs every `kind` over it,
+    /// reporting progress on stderr.
+    pub fn run_grid(&self, kinds: &[PrefetcherKind]) -> Vec<Vec<SimResult>> {
+        self.apps
+            .iter()
+            .map(|&app| {
+                eprintln!("  [{}] building trace ({} accesses)...", app.abbr(), self.len_for(app));
+                let trace = profile(app).scaled(self.len_for(app)).build();
+                kinds
+                    .iter()
+                    .map(|&k| {
+                        eprintln!("  [{}] running {}...", app.abbr(), k.label());
+                        run_trace(&trace, k)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Renders a unit-interval value as a crude horizontal bar (figure flavour).
+pub fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), "·".repeat(width - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let a = HarnessArgs::parse(Vec::<String>::new());
+        assert_eq!(a.len, Some(DEFAULT_LEN));
+        assert_eq!(a.apps.len(), 10);
+    }
+
+    #[test]
+    fn parse_len_and_apps() {
+        let a = HarnessArgs::parse(
+            ["--len", "50_000", "--apps", "CFM,fort"].map(String::from),
+        );
+        assert_eq!(a.len, Some(50_000));
+        assert_eq!(a.apps, vec![AppId::Cfm, AppId::Fort]);
+    }
+
+    #[test]
+    fn parse_full_uses_paper_lengths() {
+        let a = HarnessArgs::parse(["--full"].map(String::from));
+        assert_eq!(a.len, None);
+        assert_eq!(a.len_for(AppId::Cfm), 67_480_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown app")]
+    fn parse_rejects_unknown_app() {
+        let _ = HarnessArgs::parse(["--apps", "WAT"].map(String::from));
+    }
+
+    #[test]
+    fn bar_renders() {
+        assert_eq!(bar(0.5, 10), "#####·····");
+        assert_eq!(bar(0.0, 4), "····");
+        assert_eq!(bar(1.5, 4), "####");
+    }
+}

@@ -1,0 +1,216 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! Outstanding fills — demand misses and issued prefetches — are tracked
+//! here so that (a) duplicate misses to the same block merge instead of
+//! issuing twice, and (b) a demand miss that lands on an in-flight
+//! *prefetch* is recognised as a **late prefetch**: the requester waits
+//! only the residual latency instead of a full memory access.
+
+use std::collections::HashMap;
+
+use planaria_common::{Cycle, PhysAddr, PrefetchOrigin};
+
+/// Outcome of probing the MSHR file for a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrStatus {
+    /// No outstanding request for this block.
+    Absent,
+    /// An outstanding request exists; carries its completion time and
+    /// whether it was initiated by a prefetch.
+    InFlight {
+        /// When the outstanding fill completes.
+        ready_at: Cycle,
+        /// `Some(origin)` when the outstanding request is a prefetch.
+        prefetch: Option<PrefetchOrigin>,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    ready_at: Cycle,
+    prefetch: Option<PrefetchOrigin>,
+}
+
+/// A bounded file of outstanding misses, keyed by block address.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: HashMap<u64, Entry>,
+    capacity: usize,
+    /// Demand misses merged into an in-flight entry.
+    pub merged: u64,
+    /// Demand misses that hit an in-flight prefetch (late prefetches).
+    pub late_prefetch_hits: u64,
+    /// Allocations rejected because the file was full.
+    pub rejected_full: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with room for `capacity` outstanding blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        Self {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            merged: 0,
+            late_prefetch_hits: 0,
+            rejected_full: 0,
+        }
+    }
+
+    /// Number of outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` when no further allocation is possible.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Probes for an outstanding request covering `addr`'s block.
+    pub fn probe(&self, addr: PhysAddr) -> MshrStatus {
+        match self.entries.get(&addr.block_number()) {
+            Some(e) => MshrStatus::InFlight { ready_at: e.ready_at, prefetch: e.prefetch },
+            None => MshrStatus::Absent,
+        }
+    }
+
+    /// Records a demand miss merging into an in-flight entry. Upgrades a
+    /// prefetch entry to demand (its data now has a waiting consumer) and
+    /// counts a late prefetch.
+    pub fn merge_demand(&mut self, addr: PhysAddr) -> Option<Cycle> {
+        let e = self.entries.get_mut(&addr.block_number())?;
+        self.merged += 1;
+        if e.prefetch.take().is_some() {
+            self.late_prefetch_hits += 1;
+        }
+        Some(e.ready_at)
+    }
+
+    /// Allocates an entry for a new outstanding fill.
+    ///
+    /// Returns `false` (and counts a rejection) when the file is full or an
+    /// entry already exists for the block.
+    pub fn allocate(
+        &mut self,
+        addr: PhysAddr,
+        ready_at: Cycle,
+        prefetch: Option<PrefetchOrigin>,
+    ) -> bool {
+        if self.is_full() {
+            self.rejected_full += 1;
+            return false;
+        }
+        let block = addr.block_number();
+        if self.entries.contains_key(&block) {
+            return false;
+        }
+        self.entries.insert(block, Entry { ready_at, prefetch });
+        true
+    }
+
+    /// Releases every entry whose fill completed at or before `now`,
+    /// returning `(block address, was prefetch)` pairs.
+    pub fn drain_completed(&mut self, now: Cycle) -> Vec<(PhysAddr, Option<PrefetchOrigin>)> {
+        let done: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.ready_at <= now)
+            .map(|(&b, _)| b)
+            .collect();
+        let mut out = Vec::with_capacity(done.len());
+        for b in done {
+            let e = self.entries.remove(&b).expect("key just listed");
+            out.push((PhysAddr::new(b * planaria_common::BLOCK_SIZE), e.prefetch));
+        }
+        out.sort_by_key(|(a, _)| a.as_u64());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_and_allocate() {
+        let mut m = MshrFile::new(4);
+        let a = PhysAddr::new(0x1000);
+        assert_eq!(m.probe(a), MshrStatus::Absent);
+        assert!(m.allocate(a, Cycle::new(100), None));
+        assert_eq!(
+            m.probe(a),
+            MshrStatus::InFlight { ready_at: Cycle::new(100), prefetch: None }
+        );
+        assert!(!m.allocate(a, Cycle::new(200), None), "duplicate allocation");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut m = MshrFile::new(2);
+        assert!(m.allocate(PhysAddr::new(0x0), Cycle::new(1), None));
+        assert!(m.allocate(PhysAddr::new(0x40), Cycle::new(1), None));
+        assert!(m.is_full());
+        assert!(!m.allocate(PhysAddr::new(0x80), Cycle::new(1), None));
+        assert_eq!(m.rejected_full, 1);
+    }
+
+    #[test]
+    fn merge_demand_upgrades_prefetch() {
+        let mut m = MshrFile::new(4);
+        let a = PhysAddr::new(0x2000);
+        m.allocate(a, Cycle::new(500), Some(PrefetchOrigin::Slp));
+        let ready = m.merge_demand(a).expect("in flight");
+        assert_eq!(ready, Cycle::new(500));
+        assert_eq!(m.late_prefetch_hits, 1);
+        assert_eq!(m.merged, 1);
+        // Entry is now a demand entry.
+        assert_eq!(
+            m.probe(a),
+            MshrStatus::InFlight { ready_at: Cycle::new(500), prefetch: None }
+        );
+    }
+
+    #[test]
+    fn merge_absent_returns_none() {
+        let mut m = MshrFile::new(4);
+        assert!(m.merge_demand(PhysAddr::new(0x3000)).is_none());
+    }
+
+    #[test]
+    fn drain_completes_in_time_order() {
+        let mut m = MshrFile::new(8);
+        m.allocate(PhysAddr::new(0x40), Cycle::new(10), None);
+        m.allocate(PhysAddr::new(0x80), Cycle::new(20), Some(PrefetchOrigin::Tlp));
+        m.allocate(PhysAddr::new(0xc0), Cycle::new(30), None);
+        let done = m.drain_completed(Cycle::new(20));
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].0, PhysAddr::new(0x40));
+        assert_eq!(done[1].1, Some(PrefetchOrigin::Tlp));
+        assert_eq!(m.len(), 1);
+        assert!(m.drain_completed(Cycle::new(19)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn sub_block_addresses_share_entry() {
+        let mut m = MshrFile::new(4);
+        m.allocate(PhysAddr::new(0x1000), Cycle::new(5), None);
+        assert_ne!(m.probe(PhysAddr::new(0x1004)), MshrStatus::Absent);
+    }
+}

@@ -1,0 +1,164 @@
+//! Demand-access records as observed on the memory bus.
+//!
+//! Each record mirrors one entry of the paper's bus-monitor trace format:
+//! physical address, access type (read/write), requesting device id and
+//! arrival time. No program counter is available — the defining constraint
+//! of memory-side prefetching.
+
+use core::fmt;
+
+use crate::{Cycle, PhysAddr};
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AccessKind {
+    /// A read (load / fetch / DMA-in) request.
+    Read,
+    /// A write (store / writeback / DMA-out) request.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Read`].
+    pub const fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+
+    /// Returns `true` for [`AccessKind::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        })
+    }
+}
+
+/// The SoC agent that issued a memory request.
+///
+/// The system cache is shared by heterogeneous devices; the trace records
+/// which device issued each request (the paper lists CPU, GPU, DSP, NPU and
+/// ISP agents). Planaria itself ignores the device id — it cannot rely on
+/// per-device state the way PC-indexed prefetchers rely on per-PC state —
+/// but workload generators and statistics use it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DeviceId {
+    /// One of the eight CPU cores (index 0..=7).
+    Cpu(u8),
+    /// The Mali GPU.
+    Gpu,
+    /// The neural processing unit.
+    Npu,
+    /// The image signal processor.
+    Isp,
+    /// The digital signal processor.
+    Dsp,
+}
+
+impl DeviceId {
+    /// Returns `true` if the device is a CPU core.
+    pub const fn is_cpu(self) -> bool {
+        matches!(self, DeviceId::Cpu(_))
+    }
+}
+
+impl Default for DeviceId {
+    fn default() -> Self {
+        DeviceId::Cpu(0)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceId::Cpu(i) => write!(f, "cpu{i}"),
+            DeviceId::Gpu => f.write_str("gpu"),
+            DeviceId::Npu => f.write_str("npu"),
+            DeviceId::Isp => f.write_str("isp"),
+            DeviceId::Dsp => f.write_str("dsp"),
+        }
+    }
+}
+
+/// One demand access observed at the system-cache boundary.
+///
+/// # Examples
+///
+/// ```
+/// use planaria_common::{AccessKind, Cycle, DeviceId, MemAccess, PhysAddr};
+///
+/// let a = MemAccess::new(PhysAddr::new(0x4000), AccessKind::Read, DeviceId::Gpu, Cycle::new(10));
+/// assert_eq!(a.addr.page().as_u64(), 4);
+/// assert!(a.kind.is_read());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MemAccess {
+    /// Physical byte address of the request.
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Requesting SoC agent.
+    pub device: DeviceId,
+    /// Arrival time at the system cache, in memory-controller cycles.
+    pub cycle: Cycle,
+}
+
+impl MemAccess {
+    /// Creates an access record.
+    pub const fn new(addr: PhysAddr, kind: AccessKind, device: DeviceId, cycle: Cycle) -> Self {
+        Self { addr, kind, device, cycle }
+    }
+
+    /// Convenience constructor for a CPU read, the most common trace entry.
+    pub const fn read(addr: PhysAddr, cycle: Cycle) -> Self {
+        Self::new(addr, AccessKind::Read, DeviceId::Cpu(0), cycle)
+    }
+
+    /// Convenience constructor for a CPU write.
+    pub const fn write(addr: PhysAddr, cycle: Cycle) -> Self {
+        Self::new(addr, AccessKind::Write, DeviceId::Cpu(0), cycle)
+    }
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} @{}", self.kind, self.addr, self.device, self.cycle.as_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+    }
+
+    #[test]
+    fn device_display_and_cpu_check() {
+        assert_eq!(DeviceId::Cpu(3).to_string(), "cpu3");
+        assert_eq!(DeviceId::Gpu.to_string(), "gpu");
+        assert!(DeviceId::Cpu(0).is_cpu());
+        assert!(!DeviceId::Npu.is_cpu());
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        let r = MemAccess::read(PhysAddr::new(0x40), Cycle::new(1));
+        assert!(r.kind.is_read());
+        let w = MemAccess::write(PhysAddr::new(0x80), Cycle::new(2));
+        assert!(w.kind.is_write());
+        assert!(!w.to_string().is_empty());
+    }
+}

@@ -1,0 +1,459 @@
+//! SLP's three hardware tables: Filter, Accumulation and Pattern History.
+//!
+//! The learning pipeline (paper Figure 1, steps 1–4):
+//!
+//! 1. A demand access first probes the **Accumulation Table (AT)**; a hit
+//!    sets the block's bit in the entry's 16-bit bitmap.
+//! 2. On an AT miss the access goes to the **Filter Table (FT)**, which
+//!    weeds out pages whose snapshots involve too few blocks.
+//! 3. Once an FT entry has recorded three distinct offsets, the page is
+//!    *promoted* into the AT.
+//! 4. When an AT entry times out (no access for the timeout window), SLP
+//!    interprets the recorded bitmap as a complete, stable snapshot and
+//!    transfers it to the **Pattern History Table (PT)**.
+//!
+//! All tables are indexed by page number only — no PC exists at the system
+//! cache. Timeouts are implemented with lazy expiry queues so each access
+//! costs amortised O(1).
+
+use std::collections::{HashMap, VecDeque};
+
+use planaria_common::{Bitmap16, Cycle};
+
+/// How the Pattern History Table reconciles a freshly captured snapshot
+/// with a previously learned pattern for the same page.
+///
+/// `Replace` is the paper's SLP. The other two transplant DSPatch's
+/// coverage-vs-accuracy bitmap duality (Bera et al., MICRO 2019 — the
+/// paper's reference [1]) into the PN-keyed setting: `Union` grows the
+/// pattern toward coverage, `Intersect` shrinks it toward accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PatternMerge {
+    /// Latest snapshot wins (the paper's behaviour).
+    #[default]
+    Replace,
+    /// Accumulate the union of snapshots (coverage-biased).
+    Union,
+    /// Keep only blocks present in every snapshot (accuracy-biased).
+    Intersect,
+}
+
+impl core::fmt::Display for PatternMerge {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            PatternMerge::Replace => "replace",
+            PatternMerge::Union => "union",
+            PatternMerge::Intersect => "intersect",
+        })
+    }
+}
+
+/// Number of distinct offsets an FT entry must record before promotion.
+pub(crate) const FT_PROMOTE_COUNT: usize = 3;
+
+#[derive(Debug, Clone, Copy)]
+struct FtEntry {
+    offsets: [u8; FT_PROMOTE_COUNT],
+    count: u8,
+    last: Cycle,
+}
+
+/// The Filter Table: pre-screens pages before they earn an AT entry.
+#[derive(Debug, Clone)]
+pub(crate) struct FilterTable {
+    map: HashMap<u64, FtEntry>,
+    expiry: VecDeque<(u64, Cycle)>,
+    capacity: usize,
+    timeout: u64,
+    pub(crate) accesses: u64,
+}
+
+impl FilterTable {
+    pub(crate) fn new(capacity: usize, timeout: u64) -> Self {
+        assert!(capacity > 0, "FT capacity must be positive");
+        Self {
+            map: HashMap::with_capacity(capacity),
+            expiry: VecDeque::new(),
+            capacity,
+            timeout,
+            accesses: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Records `offset` (0..16) for `page`; returns the three-offset bitmap
+    /// when the entry reaches the promotion threshold (and removes it).
+    pub(crate) fn record(&mut self, page: u64, offset: usize, now: Cycle) -> Option<Bitmap16> {
+        self.accesses += 1;
+        self.sweep(now);
+        match self.map.get_mut(&page) {
+            Some(e) => {
+                e.last = now;
+                let known = e.offsets[..e.count as usize].contains(&(offset as u8));
+                if !known {
+                    e.offsets[e.count as usize] = offset as u8;
+                    e.count += 1;
+                    if e.count as usize == FT_PROMOTE_COUNT {
+                        let e = self.map.remove(&page).expect("entry just updated");
+                        let bitmap =
+                            e.offsets.iter().map(|&o| o as usize).collect::<Bitmap16>();
+                        return Some(bitmap);
+                    }
+                }
+                None
+            }
+            None => {
+                if self.map.len() >= self.capacity {
+                    self.evict_oldest();
+                }
+                let mut offsets = [0u8; FT_PROMOTE_COUNT];
+                offsets[0] = offset as u8;
+                self.map.insert(page, FtEntry { offsets, count: 1, last: now });
+                self.expiry.push_back((page, now));
+                None
+            }
+        }
+    }
+
+    /// Offsets recorded so far for `page`, as a bitmap (blocks already
+    /// accessed in the current visit while the page is still filtering).
+    pub(crate) fn observed(&self, page: u64) -> Option<Bitmap16> {
+        self.map.get(&page).map(|e| {
+            e.offsets[..e.count as usize]
+                .iter()
+                .map(|&o| o as usize)
+                .collect()
+        })
+    }
+
+    fn evict_oldest(&mut self) {
+        if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last) {
+            self.map.remove(&victim);
+        }
+    }
+
+    /// Drops entries idle past the timeout (their snapshots never grew
+    /// beyond a couple of blocks — exactly what the FT exists to filter).
+    pub(crate) fn sweep(&mut self, now: Cycle) {
+        while let Some(&(page, stamped)) = self.expiry.front() {
+            if now.since(stamped) < self.timeout {
+                break;
+            }
+            self.expiry.pop_front();
+            if let Some(e) = self.map.get(&page) {
+                if now.since(e.last) >= self.timeout {
+                    self.map.remove(&page);
+                } else {
+                    let last = e.last;
+                    self.expiry.push_back((page, last));
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AtEntry {
+    bitmap: Bitmap16,
+    last: Cycle,
+}
+
+/// The Accumulation Table: builds the footprint bitmap of in-flight pages.
+#[derive(Debug, Clone)]
+pub(crate) struct AccumulationTable {
+    map: HashMap<u64, AtEntry>,
+    expiry: VecDeque<(u64, Cycle)>,
+    capacity: usize,
+    timeout: u64,
+    pub(crate) accesses: u64,
+}
+
+impl AccumulationTable {
+    pub(crate) fn new(capacity: usize, timeout: u64) -> Self {
+        assert!(capacity > 0, "AT capacity must be positive");
+        Self {
+            map: HashMap::with_capacity(capacity),
+            expiry: VecDeque::new(),
+            capacity,
+            timeout,
+            accesses: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Sets `offset`'s bit for an existing entry. Returns `true` on hit.
+    pub(crate) fn record(&mut self, page: u64, offset: usize, now: Cycle) -> bool {
+        self.accesses += 1;
+        match self.map.get_mut(&page) {
+            Some(e) => {
+                e.bitmap.set(offset);
+                e.last = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bits accumulated so far for `page` (blocks already accessed in the
+    /// current visit).
+    pub(crate) fn observed(&self, page: u64) -> Option<Bitmap16> {
+        self.map.get(&page).map(|e| e.bitmap)
+    }
+
+    /// Inserts a freshly promoted page. A capacity eviction transfers the
+    /// victim's partial snapshot out (returned for the PT), since dropping
+    /// it would lose a complete-but-crowded pattern.
+    pub(crate) fn insert(
+        &mut self,
+        page: u64,
+        bitmap: Bitmap16,
+        now: Cycle,
+    ) -> Option<(u64, Bitmap16)> {
+        let mut spilled = None;
+        if self.map.len() >= self.capacity {
+            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last) {
+                let e = self.map.remove(&victim).expect("victim exists");
+                spilled = Some((victim, e.bitmap));
+            }
+        }
+        self.map.insert(page, AtEntry { bitmap, last: now });
+        self.expiry.push_back((page, now));
+        spilled
+    }
+
+    /// Pops every entry idle past the timeout: each is a detected complete,
+    /// stable snapshot headed for the PT (paper step 4).
+    pub(crate) fn sweep(&mut self, now: Cycle, out: &mut Vec<(u64, Bitmap16)>) {
+        while let Some(&(page, stamped)) = self.expiry.front() {
+            if now.since(stamped) < self.timeout {
+                break;
+            }
+            self.expiry.pop_front();
+            if let Some(e) = self.map.get(&page) {
+                if now.since(e.last) >= self.timeout {
+                    let e = self.map.remove(&page).expect("entry exists");
+                    out.push((page, e.bitmap));
+                } else {
+                    let last = e.last;
+                    self.expiry.push_back((page, last));
+                }
+            }
+        }
+    }
+}
+
+/// The Pattern History Table: page number → learned snapshot bitmap.
+#[derive(Debug, Clone)]
+pub(crate) struct PatternTable {
+    map: HashMap<u64, Bitmap16>,
+    fifo: VecDeque<u64>,
+    capacity: usize,
+    merge: PatternMerge,
+    pub(crate) accesses: u64,
+}
+
+impl PatternTable {
+    #[cfg(test)]
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self::with_merge(capacity, PatternMerge::default())
+    }
+
+    pub(crate) fn with_merge(capacity: usize, merge: PatternMerge) -> Self {
+        assert!(capacity > 0, "PT capacity must be positive");
+        Self {
+            map: HashMap::with_capacity(capacity),
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            merge,
+            accesses: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Stores (or merges, per the configured [`PatternMerge`]) the learned
+    /// snapshot of `page`.
+    pub(crate) fn insert(&mut self, page: u64, bitmap: Bitmap16) {
+        self.accesses += 1;
+        if bitmap.is_empty() {
+            return;
+        }
+        let merged = match (self.merge, self.map.get(&page)) {
+            (PatternMerge::Union, Some(&old)) => old.or(bitmap),
+            (PatternMerge::Intersect, Some(&old)) => {
+                let both = old.and(bitmap);
+                if both.is_empty() {
+                    // An unstable pattern carries no signal: drop the entry
+                    // (the fifo slot goes stale and is skipped at eviction).
+                    self.map.remove(&page);
+                    return;
+                }
+                both
+            }
+            _ => bitmap,
+        };
+        if self.map.insert(page, merged).is_none() {
+            self.fifo.push_back(page);
+            while self.map.len() > self.capacity {
+                if let Some(victim) = self.fifo.pop_front() {
+                    self.map.remove(&victim);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The learned snapshot for `page`, if any.
+    pub(crate) fn lookup(&mut self, page: u64) -> Option<Bitmap16> {
+        self.accesses += 1;
+        self.map.get(&page).copied()
+    }
+
+    /// Probe without counting a table access (coordinator's selection rule).
+    pub(crate) fn contains(&self, page: u64) -> bool {
+        self.map.contains_key(&page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ft_promotes_after_three_distinct_offsets() {
+        let mut ft = FilterTable::new(8, 1000);
+        assert!(ft.record(1, 3, Cycle::new(0)).is_none());
+        assert!(ft.record(1, 3, Cycle::new(1)).is_none(), "duplicate offset ignored");
+        assert!(ft.record(1, 5, Cycle::new(2)).is_none());
+        let bm = ft.record(1, 9, Cycle::new(3)).expect("promotion");
+        assert_eq!(bm.iter_set().collect::<Vec<_>>(), vec![3, 5, 9]);
+        assert_eq!(ft.len(), 0, "promoted entry leaves the FT");
+    }
+
+    #[test]
+    fn ft_times_out_sparse_pages() {
+        let mut ft = FilterTable::new(8, 100);
+        ft.record(1, 0, Cycle::new(0));
+        ft.record(2, 0, Cycle::new(50));
+        ft.sweep(Cycle::new(120));
+        assert_eq!(ft.len(), 1, "page 1 expired, page 2 alive");
+        ft.sweep(Cycle::new(200));
+        assert_eq!(ft.len(), 0);
+    }
+
+    #[test]
+    fn ft_eviction_on_capacity() {
+        let mut ft = FilterTable::new(2, 1_000_000);
+        ft.record(1, 0, Cycle::new(0));
+        ft.record(2, 0, Cycle::new(1));
+        ft.record(3, 0, Cycle::new(2)); // evicts page 1 (oldest)
+        assert_eq!(ft.len(), 2);
+        // Page 1 restarts from scratch: its pre-eviction offset is gone,
+        // so promotion needs three fresh distinct offsets.
+        assert!(ft.record(1, 1, Cycle::new(3)).is_none());
+        assert!(ft.record(1, 2, Cycle::new(4)).is_none());
+        let bm = ft.record(1, 3, Cycle::new(5)).expect("third distinct offset promotes");
+        assert_eq!(bm.iter_set().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn at_accumulates_and_times_out_to_pattern() {
+        let mut at = AccumulationTable::new(8, 100);
+        at.insert(7, Bitmap16::from_bits(0b111), Cycle::new(0));
+        assert!(at.record(7, 5, Cycle::new(10)));
+        assert!(!at.record(8, 0, Cycle::new(11)), "page 8 not resident");
+        let mut out = Vec::new();
+        at.sweep(Cycle::new(50), &mut out);
+        assert!(out.is_empty(), "not yet expired");
+        at.sweep(Cycle::new(200), &mut out);
+        assert_eq!(out, vec![(7, Bitmap16::from_bits(0b10_0111))]);
+        assert_eq!(at.len(), 0);
+    }
+
+    #[test]
+    fn at_expiry_follows_latest_touch() {
+        let mut at = AccumulationTable::new(8, 100);
+        at.insert(7, Bitmap16::from_bits(0b1), Cycle::new(0));
+        at.record(7, 1, Cycle::new(90)); // refreshed
+        let mut out = Vec::new();
+        at.sweep(Cycle::new(120), &mut out);
+        assert!(out.is_empty(), "entry refreshed at 90, timeout at 190");
+        at.sweep(Cycle::new(191), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn at_capacity_spills_victim() {
+        let mut at = AccumulationTable::new(2, 1000);
+        assert!(at.insert(1, Bitmap16::from_bits(0b1), Cycle::new(0)).is_none());
+        assert!(at.insert(2, Bitmap16::from_bits(0b10), Cycle::new(1)).is_none());
+        let spilled = at.insert(3, Bitmap16::from_bits(0b100), Cycle::new(2));
+        assert_eq!(spilled, Some((1, Bitmap16::from_bits(0b1))));
+        assert_eq!(at.len(), 2);
+    }
+
+    #[test]
+    fn pt_fifo_eviction() {
+        let mut pt = PatternTable::new(2);
+        pt.insert(1, Bitmap16::from_bits(0b1));
+        pt.insert(2, Bitmap16::from_bits(0b10));
+        pt.insert(3, Bitmap16::from_bits(0b100));
+        assert_eq!(pt.len(), 2);
+        assert!(pt.lookup(1).is_none(), "oldest evicted");
+        assert!(pt.lookup(3).is_some());
+    }
+
+    #[test]
+    fn pt_update_refreshes_pattern_not_position() {
+        let mut pt = PatternTable::new(2);
+        pt.insert(1, Bitmap16::from_bits(0b1));
+        pt.insert(2, Bitmap16::from_bits(0b10));
+        pt.insert(1, Bitmap16::from_bits(0b11)); // update in place
+        pt.insert(3, Bitmap16::from_bits(0b100)); // evicts 1 (still oldest)
+        assert!(pt.lookup(1).is_none());
+        assert_eq!(pt.lookup(2), Some(Bitmap16::from_bits(0b10)));
+    }
+
+    #[test]
+    fn pt_ignores_empty_bitmaps() {
+        let mut pt = PatternTable::new(2);
+        pt.insert(1, Bitmap16::EMPTY);
+        assert_eq!(pt.len(), 0);
+    }
+
+    #[test]
+    fn pt_union_accumulates_coverage() {
+        let mut pt = PatternTable::with_merge(4, PatternMerge::Union);
+        pt.insert(1, Bitmap16::from_bits(0b0011));
+        pt.insert(1, Bitmap16::from_bits(0b0110));
+        assert_eq!(pt.lookup(1), Some(Bitmap16::from_bits(0b0111)));
+    }
+
+    #[test]
+    fn pt_intersect_keeps_stable_core() {
+        let mut pt = PatternTable::with_merge(4, PatternMerge::Intersect);
+        pt.insert(1, Bitmap16::from_bits(0b0111));
+        pt.insert(1, Bitmap16::from_bits(0b0110));
+        assert_eq!(pt.lookup(1), Some(Bitmap16::from_bits(0b0110)));
+        // Disjoint snapshots: the pattern is unstable and gets dropped.
+        pt.insert(1, Bitmap16::from_bits(0b1000));
+        assert_eq!(pt.lookup(1), None);
+    }
+
+    #[test]
+    fn merge_mode_display() {
+        assert_eq!(PatternMerge::Replace.to_string(), "replace");
+        assert_eq!(PatternMerge::Union.to_string(), "union");
+        assert_eq!(PatternMerge::Intersect.to_string(), "intersect");
+    }
+}

@@ -1,0 +1,372 @@
+//! TLP — the Transfer-Learning directed Prefetcher (inter-page).
+//!
+//! TLP exploits Observation 2: significant fractions of pages can learn
+//! their access pattern from *neighbouring* pages (close page numbers with
+//! similar footprint bitmaps). Its single structure is the **Recent Page
+//! Table (RPT)**: 128 entries, each holding a page tag, a 16-bit recently-
+//! accessed-blocks bitmap, and one "Ref" bit per other entry that is
+//! precomputed at allocation time as `|PN_i − PN_j| ≤ distance threshold`.
+//!
+//! On a demand miss to a tracked page, TLP scans the page's Ref-flagged
+//! neighbours, picks the one whose bitmap shares the most set bits with the
+//! blocks this page has already touched (at least
+//! [`TlpConfig::min_common_bits`], the paper example's "four same bits"),
+//! and prefetches the neighbour's remaining blocks on this page.
+
+use planaria_common::{
+    Bitmap16, Cycle, MemAccess, PageNum, PhysAddr, PrefetchOrigin, PrefetchRequest, SegmentIndex,
+    NUM_CHANNELS,
+};
+
+use crate::traits::Prefetcher;
+
+/// TLP sizing parameters (per channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TlpConfig {
+    /// Recent Page Table entries (at most 128; Ref bits are a u128).
+    pub entries: usize,
+    /// Maximum page-number distance for two pages to be neighbours.
+    pub distance_threshold: u64,
+    /// Minimum shared set bits before a pattern transfer is trusted.
+    pub min_common_bits: usize,
+    /// Page-number tag width in bits (storage accounting).
+    pub tag_bits: u64,
+}
+
+impl Default for TlpConfig {
+    /// The paper's RPT: 128 entries, distance threshold 64. The confidence
+    /// threshold is 2 common bits *per channel segment*: the paper's
+    /// "four same bits" example is stated for a whole page, and each of
+    /// the four channel-sliced coordinators sees a quarter of the page's
+    /// footprint.
+    fn default() -> Self {
+        Self { entries: 128, distance_threshold: 64, min_common_bits: 2, tag_bits: 36 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RptEntry {
+    page: u64,
+    bitmap: Bitmap16,
+    last: Cycle,
+    /// Bit *j* set ⇔ entry *j* is an address-space neighbour of this page.
+    refs: u128,
+}
+
+/// One channel's TLP instance with decoupled learning/issuing phases.
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelTlp {
+    segment: usize,
+    cfg: TlpConfig,
+    slots: Vec<Option<RptEntry>>,
+    pub(crate) accesses: u64,
+}
+
+impl ChannelTlp {
+    pub(crate) fn new_for_segment(cfg: &TlpConfig, segment: usize) -> Self {
+        assert!(
+            (1..=128).contains(&cfg.entries),
+            "RPT entries must be in 1..=128 (got {})",
+            cfg.entries
+        );
+        Self { segment, cfg: *cfg, slots: vec![None; cfg.entries], accesses: 0 }
+    }
+
+    fn slot_of(&self, page: u64) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.map(|e| e.page) == Some(page))
+    }
+
+    /// Learning phase: record (page, segment offset) at `now`.
+    pub(crate) fn learn(&mut self, page: u64, offset: usize, now: Cycle) {
+        self.accesses += 1;
+        if let Some(i) = self.slot_of(page) {
+            let e = self.slots[i].as_mut().expect("slot occupied");
+            e.bitmap.set(offset);
+            e.last = now;
+            return;
+        }
+        // Allocate: empty slot first, else LRU victim.
+        let victim = self
+            .slots
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.map(|e| e.last).unwrap_or(Cycle::ZERO))
+                    .map(|(i, _)| i)
+                    .expect("non-empty RPT")
+            });
+        // The departing entry's Ref bits in everyone else are cleared; the
+        // newcomer's are recomputed pairwise (paper §4.2).
+        let mask = !(1u128 << victim);
+        let mut refs = 0u128;
+        for (j, slot) in self.slots.iter_mut().enumerate() {
+            if j == victim {
+                continue;
+            }
+            if let Some(e) = slot.as_mut() {
+                e.refs &= mask;
+                if e.page.abs_diff(page) <= self.cfg.distance_threshold {
+                    e.refs |= 1u128 << victim;
+                    refs |= 1u128 << j;
+                }
+            }
+        }
+        self.slots[victim] = Some(RptEntry {
+            page,
+            bitmap: Bitmap16::EMPTY.with(offset),
+            last: now,
+            refs,
+        });
+    }
+
+    /// Issuing phase: on a demand miss, transfer the most similar
+    /// neighbour's pattern to this page.
+    pub(crate) fn issue(
+        &mut self,
+        page: u64,
+        _offset: usize,
+        triggered_at: Cycle,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        self.accesses += 1;
+        let Some(i) = self.slot_of(page) else { return };
+        let me = self.slots[i].expect("slot occupied");
+        let mut best: Option<(usize, Bitmap16)> = None;
+        let mut refs = me.refs;
+        while refs != 0 {
+            let j = refs.trailing_zeros() as usize;
+            refs &= refs - 1;
+            if let Some(other) = self.slots.get(j).copied().flatten() {
+                let common = me.bitmap.overlap(other.bitmap);
+                if common >= self.cfg.min_common_bits
+                    && best.is_none_or(|(c, _)| common > c)
+                {
+                    best = Some((common, other.bitmap));
+                }
+            }
+        }
+        let Some((_, pattern)) = best else { return };
+        let todo = pattern.minus(me.bitmap);
+        let page_num = PageNum::new(page);
+        for pos in todo.iter_set() {
+            let addr =
+                PhysAddr::from_parts(page_num, SegmentIndex::new(self.segment).block(pos));
+            out.push(PrefetchRequest::new(addr, PrefetchOrigin::Tlp, triggered_at));
+        }
+    }
+
+    pub(crate) fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// The standalone four-channel TLP prefetcher (Figure 9's "TLP-only").
+#[derive(Debug, Clone)]
+pub struct Tlp {
+    cfg: TlpConfig,
+    channels: Vec<ChannelTlp>,
+}
+
+impl Tlp {
+    /// Creates a four-channel TLP.
+    pub fn new(cfg: TlpConfig) -> Self {
+        Self {
+            channels: (0..NUM_CHANNELS)
+                .map(|s| ChannelTlp::new_for_segment(&cfg, s))
+                .collect(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TlpConfig {
+        &self.cfg
+    }
+
+    /// Valid RPT entries in one channel, for diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel >= 4`.
+    pub fn occupancy(&self, channel: usize) -> usize {
+        self.channels[channel].occupancy()
+    }
+}
+
+impl Default for Tlp {
+    fn default() -> Self {
+        Self::new(TlpConfig::default())
+    }
+}
+
+impl Prefetcher for Tlp {
+    fn name(&self) -> &str {
+        "TLP"
+    }
+
+    fn on_access(&mut self, access: &MemAccess, hit: bool, out: &mut Vec<PrefetchRequest>) {
+        let ch = access.addr.channel().as_usize();
+        let page = access.addr.page().as_u64();
+        let offset = access.addr.block_index().index_in_segment();
+        let tlp = &mut self.channels[ch];
+        tlp.learn(page, offset, access.cycle);
+        if !hit {
+            tlp.issue(page, offset, access.cycle, out);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        crate::storage::tlp_bits(&self.cfg) * NUM_CHANNELS as u64
+    }
+
+    fn table_accesses(&self) -> u64 {
+        self.channels.iter().map(|c| c.accesses).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_common::BlockIndex;
+
+    fn access(page: u64, block: usize, cycle: u64) -> MemAccess {
+        MemAccess::read(
+            PhysAddr::from_parts(PageNum::new(page), BlockIndex::new(block)),
+            Cycle::new(cycle),
+        )
+    }
+
+    /// Touches `blocks` of `page` as misses, returning all requests.
+    fn touch(tlp: &mut Tlp, page: u64, blocks: &[usize], t0: u64) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            tlp.on_access(&access(page, b, t0 + 10 * i as u64), false, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn transfers_pattern_from_neighbour() {
+        // Pin the confidence threshold at the paper example's four bits so
+        // the transfer fires exactly once, after the fourth common block.
+        let mut tlp = Tlp::new(TlpConfig { min_common_bits: 4, ..TlpConfig::default() });
+        // Page 100 establishes a pattern: blocks {0,2,4,6,8} (segment 0).
+        touch(&mut tlp, 100, &[0, 2, 4, 6, 8], 0);
+        // Page 101 (neighbour) touches 4 blocks shared with page 100.
+        let out = touch(&mut tlp, 101, &[0, 2, 4, 6], 1000);
+        let mut got: Vec<usize> = out.iter().map(|r| r.addr.block_index().as_usize()).collect();
+        got.sort();
+        got.dedup();
+        assert_eq!(got, vec![8], "only the not-yet-touched common-pattern block");
+        assert!(out.iter().all(|r| r.origin == PrefetchOrigin::Tlp));
+        assert!(out.iter().all(|r| r.addr.page().as_u64() == 101));
+    }
+
+    #[test]
+    fn default_threshold_transfers_after_two_common_bits() {
+        let mut tlp = Tlp::default();
+        touch(&mut tlp, 100, &[0, 2, 4, 6, 8], 0);
+        // With the per-segment default (2 common bits) the transfer already
+        // fires on the second shared block.
+        let out = touch(&mut tlp, 101, &[0, 2], 1000);
+        let got: std::collections::BTreeSet<usize> =
+            out.iter().map(|r| r.addr.block_index().as_usize()).collect();
+        assert!(got.contains(&4) && got.contains(&6) && got.contains(&8), "{got:?}");
+    }
+
+    #[test]
+    fn far_pages_are_not_neighbours() {
+        let mut tlp = Tlp::default();
+        touch(&mut tlp, 100, &[0, 2, 4, 6, 8], 0);
+        // Distance 65 > threshold 64.
+        let out = touch(&mut tlp, 165, &[0, 2, 4, 6], 1000);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn distance_threshold_is_inclusive() {
+        let mut tlp = Tlp::default();
+        touch(&mut tlp, 100, &[0, 2, 4, 6, 8], 0);
+        let out = touch(&mut tlp, 164, &[0, 2, 4, 6], 1000);
+        assert!(!out.is_empty(), "distance exactly 64 is a neighbour");
+    }
+
+    #[test]
+    fn requires_min_common_bits() {
+        let mut tlp = Tlp::new(TlpConfig { min_common_bits: 4, ..TlpConfig::default() });
+        touch(&mut tlp, 100, &[0, 2, 4, 6, 8], 0);
+        // Only 3 common bits: below the configured 4-bit threshold.
+        let out = touch(&mut tlp, 101, &[0, 2, 4], 1000);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn picks_most_similar_neighbour() {
+        let mut tlp = Tlp::default();
+        // Page B (=100): 6 blocks; page C (=102): different 5-block pattern
+        // sharing only 4 bits with A's prefix.
+        touch(&mut tlp, 100, &[0, 2, 4, 6, 8, 10], 0);
+        touch(&mut tlp, 102, &[0, 2, 4, 6, 15], 500);
+        // Page A (=101) touches five blocks common to B (5 with B, 4 with C).
+        let out = touch(&mut tlp, 101, &[0, 2, 4, 6, 8], 1000);
+        let got: std::collections::BTreeSet<usize> =
+            out.iter().map(|r| r.addr.block_index().as_usize()).collect();
+        assert!(got.contains(&10), "pattern must come from B: {got:?}");
+        assert!(!got.contains(&15), "C must lose the similarity contest: {got:?}");
+    }
+
+    #[test]
+    fn no_issue_on_hits() {
+        let mut tlp = Tlp::default();
+        touch(&mut tlp, 100, &[0, 2, 4, 6, 8], 0);
+        let mut out = Vec::new();
+        for (i, b) in [0usize, 2, 4, 6].into_iter().enumerate() {
+            tlp.on_access(&access(101, b, 1000 + i as u64 * 10), true, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rpt_eviction_clears_ref_bits() {
+        let cfg = TlpConfig { entries: 2, ..TlpConfig::default() };
+        let mut tlp = Tlp::new(cfg);
+        touch(&mut tlp, 100, &[0, 2, 4, 6, 8], 0);
+        touch(&mut tlp, 101, &[1, 3], 100);
+        // Page 300 evicts the LRU entry (page 100).
+        touch(&mut tlp, 300, &[5], 200);
+        // Page 101 re-accessed: its old neighbour is gone; no transfer.
+        let out = touch(&mut tlp, 101, &[0, 2, 4, 6], 300);
+        assert!(out.is_empty(), "evicted neighbour must not donate a pattern");
+        assert_eq!(tlp.occupancy(0), 2);
+    }
+
+    #[test]
+    fn segment_routing() {
+        let mut tlp = Tlp::default();
+        // Segment 2 blocks (32..48).
+        touch(&mut tlp, 100, &[32, 34, 36, 38, 40], 0);
+        let out = touch(&mut tlp, 101, &[32, 34, 36, 38], 1000);
+        assert!(!out.is_empty());
+        for r in &out {
+            assert_eq!(r.addr.channel().as_usize(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "RPT entries")]
+    fn rejects_oversized_rpt() {
+        let _ = Tlp::new(TlpConfig { entries: 129, ..TlpConfig::default() });
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let tlp = Tlp::default();
+        assert!(tlp.storage_bits() > 0);
+    }
+}

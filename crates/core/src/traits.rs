@@ -1,0 +1,84 @@
+//! The prefetcher interface shared by Planaria and every baseline.
+
+use planaria_common::{MemAccess, PrefetchRequest};
+
+/// A hardware prefetcher observing the system cache's demand stream.
+///
+/// Implementations receive every demand access (their *learning* phase must
+/// see the full stream — the paper's "full-pattern directed" requirement)
+/// together with the cache hit/miss outcome, and append any generated
+/// prefetch requests to `out`.
+///
+/// `out` is an out-buffer by design: `on_access` runs once per trace access
+/// (tens of millions of times per experiment) and reusing one caller-owned
+/// buffer avoids a per-access allocation.
+pub trait Prefetcher {
+    /// Human-readable name used in figures and tables.
+    fn name(&self) -> &str;
+
+    /// Observes one demand access; appends prefetch requests to `out`.
+    ///
+    /// `hit` is `true` only for a *covered* hit: a demand hit on a line the
+    /// cache already held for demand reasons. Both real misses **and** the
+    /// first demand touch of a prefetched line arrive with `hit == false` —
+    /// the standard "prefetched hit" trigger, without which a prefetcher
+    /// could never sustain a chain of timely prefetches. (Planaria issues
+    /// only on these triggers; baselines may ignore the flag.)
+    fn on_access(&mut self, access: &MemAccess, hit: bool, out: &mut Vec<PrefetchRequest>);
+
+    /// Metadata storage cost in bits (for the paper's 345.2 KB accounting).
+    fn storage_bits(&self) -> u64;
+
+    /// Metadata-table reads+writes performed so far (prefetcher-side energy).
+    fn table_accesses(&self) -> u64 {
+        0
+    }
+}
+
+/// The "no prefetcher" baseline: observes everything, issues nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullPrefetcher;
+
+impl NullPrefetcher {
+    /// Creates the null prefetcher.
+    pub const fn new() -> Self {
+        Self
+    }
+}
+
+impl Prefetcher for NullPrefetcher {
+    fn name(&self) -> &str {
+        "None"
+    }
+
+    fn on_access(&mut self, _access: &MemAccess, _hit: bool, _out: &mut Vec<PrefetchRequest>) {}
+
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_common::{Cycle, PhysAddr};
+
+    #[test]
+    fn null_prefetcher_is_silent() {
+        let mut p = NullPrefetcher::new();
+        let mut out = Vec::new();
+        p.on_access(&MemAccess::read(PhysAddr::new(0x40), Cycle::new(1)), false, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(p.storage_bits(), 0);
+        assert_eq!(p.table_accesses(), 0);
+        assert_eq!(p.name(), "None");
+    }
+
+    #[test]
+    fn prefetcher_is_object_safe() {
+        let mut p: Box<dyn Prefetcher> = Box::new(NullPrefetcher::new());
+        let mut out = Vec::new();
+        p.on_access(&MemAccess::read(PhysAddr::new(0x40), Cycle::new(1)), true, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests over the Planaria prefetcher family: whatever the access
+//! sequence, structural invariants of the generated requests hold.
+
+use planaria_common::{
+    BlockIndex, Cycle, MemAccess, PageNum, PhysAddr, PrefetchOrigin, PrefetchRequest,
+};
+use planaria_core::{Planaria, PlanariaConfig, Prefetcher, Slp, SlpConfig, Tlp, TlpConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    page: u64,
+    block: usize,
+    gap: u64,
+    hit: bool,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (0u64..64, 0usize..64, 1u64..800, any::<bool>()).prop_map(|(page, block, gap, hit)| Step {
+        page,
+        block,
+        gap,
+        hit,
+    })
+}
+
+fn drive(pf: &mut dyn Prefetcher, steps: &[Step]) -> Vec<(Step, Vec<PrefetchRequest>)> {
+    let mut t = 0u64;
+    let mut out = Vec::new();
+    let mut log = Vec::new();
+    for &s in steps {
+        t += s.gap;
+        out.clear();
+        let access = MemAccess::read(
+            PhysAddr::from_parts(PageNum::new(s.page), BlockIndex::new(s.block)),
+            Cycle::new(t),
+        );
+        pf.on_access(&access, s.hit, &mut out);
+        log.push((s, out.clone()));
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn slp_requests_stay_in_page_and_channel(steps in proptest::collection::vec(arb_step(), 1..300)) {
+        let mut slp = Slp::default();
+        for (s, reqs) in drive(&mut slp, &steps) {
+            let trigger = PhysAddr::from_parts(PageNum::new(s.page), BlockIndex::new(s.block));
+            for r in reqs {
+                prop_assert_eq!(r.origin, PrefetchOrigin::Slp);
+                prop_assert_eq!(r.addr.page().as_u64(), s.page, "SLP is intra-page");
+                prop_assert_eq!(r.addr.channel(), trigger.channel(), "channel-sliced");
+                prop_assert_ne!(r.addr.block_base(), trigger.block_base(), "no self-prefetch");
+                prop_assert!(!s.hit, "requests only on miss triggers");
+            }
+        }
+    }
+
+    #[test]
+    fn tlp_requests_stay_in_page_and_channel(steps in proptest::collection::vec(arb_step(), 1..300)) {
+        let mut tlp = Tlp::default();
+        for (s, reqs) in drive(&mut tlp, &steps) {
+            let trigger = PhysAddr::from_parts(PageNum::new(s.page), BlockIndex::new(s.block));
+            for r in reqs {
+                prop_assert_eq!(r.origin, PrefetchOrigin::Tlp);
+                prop_assert_eq!(r.addr.page().as_u64(), s.page, "the transfer targets the trigger page");
+                prop_assert_eq!(r.addr.channel(), trigger.channel());
+                prop_assert!(!s.hit);
+            }
+        }
+    }
+
+    #[test]
+    fn planaria_never_mixes_origins_per_trigger(steps in proptest::collection::vec(arb_step(), 1..300)) {
+        let mut pf = Planaria::default();
+        for (_s, reqs) in drive(&mut pf, &steps) {
+            // Serial issuing: one sub-prefetcher per trigger.
+            let origins: std::collections::BTreeSet<PrefetchOrigin> =
+                reqs.iter().map(|r| r.origin).collect();
+            prop_assert!(origins.len() <= 1, "serial coordinator mixed origins: {origins:?}");
+        }
+    }
+
+    #[test]
+    fn per_trigger_request_count_is_bounded(steps in proptest::collection::vec(arb_step(), 1..300)) {
+        // 16-bit segment bitmaps bound every burst to 15 blocks.
+        let mut pf = Planaria::default();
+        for (_s, reqs) in drive(&mut pf, &steps) {
+            prop_assert!(reqs.len() <= 15, "burst of {} exceeds a segment", reqs.len());
+            // No duplicates within a burst.
+            let mut blocks: Vec<u64> = reqs.iter().map(|r| r.addr.block_number()).collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            prop_assert_eq!(blocks.len(), reqs.len(), "duplicate targets in one burst");
+        }
+    }
+
+    #[test]
+    fn prefetchers_are_deterministic(steps in proptest::collection::vec(arb_step(), 1..200)) {
+        let mut a = Planaria::default();
+        let mut b = Planaria::default();
+        let log_a = drive(&mut a, &steps);
+        let log_b = drive(&mut b, &steps);
+        for ((_, ra), (_, rb)) in log_a.iter().zip(&log_b) {
+            prop_assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn storage_is_config_independent_of_traffic(steps in proptest::collection::vec(arb_step(), 1..100)) {
+        let mut pf = Planaria::new(PlanariaConfig {
+            slp: SlpConfig::default(),
+            tlp: TlpConfig::default(),
+            ..PlanariaConfig::default()
+        });
+        let before = pf.storage_bits();
+        drive(&mut pf, &steps);
+        prop_assert_eq!(pf.storage_bits(), before, "hardware does not grow at runtime");
+    }
+}

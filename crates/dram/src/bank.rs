@@ -1,0 +1,136 @@
+//! Per-bank state machine.
+//!
+//! Each bank tracks its open row and the earliest cycles at which the next
+//! activate, precharge and column command may legally issue. The channel
+//! controller combines these with rank-level constraints (tRRD, tFAW,
+//! shared data bus) when scheduling.
+
+use planaria_common::Cycle;
+
+use crate::config::Timing;
+
+/// State of one DRAM bank.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Bank {
+    /// The currently open row, if any.
+    pub open_row: Option<u64>,
+    /// Earliest cycle an ACT may issue (tRC from last ACT, tRP from PRE).
+    pub next_act: Cycle,
+    /// Earliest cycle a PRE may issue (tRAS from ACT, tRTP/tWR from columns).
+    pub next_pre: Cycle,
+    /// Earliest cycle a column command may issue (tRCD from ACT).
+    pub next_col: Cycle,
+}
+
+impl Bank {
+    pub(crate) fn new() -> Self {
+        Self {
+            open_row: None,
+            next_act: Cycle::ZERO,
+            next_pre: Cycle::ZERO,
+            next_col: Cycle::ZERO,
+        }
+    }
+
+    /// Applies an ACT issued at `at` opening `row`.
+    pub(crate) fn activate(&mut self, at: Cycle, row: u64, t: &Timing) {
+        debug_assert!(at >= self.next_act, "ACT violates tRC/tRP");
+        debug_assert!(self.open_row.is_none(), "ACT on open bank");
+        self.open_row = Some(row);
+        self.next_col = at + t.t_rcd;
+        self.next_pre = at + t.t_ras;
+        self.next_act = at + t.t_rc;
+    }
+
+    /// Applies a PRE issued at `at`.
+    pub(crate) fn precharge(&mut self, at: Cycle, t: &Timing) {
+        debug_assert!(at >= self.next_pre, "PRE violates tRAS/tRTP/tWR");
+        debug_assert!(self.open_row.is_some(), "PRE on closed bank");
+        self.open_row = None;
+        self.next_act = self.next_act.max(at + t.t_rp);
+    }
+
+    /// Applies a column read issued at `at`.
+    pub(crate) fn read(&mut self, at: Cycle, t: &Timing) {
+        debug_assert!(at >= self.next_col, "RD violates tRCD");
+        debug_assert!(self.open_row.is_some(), "RD on closed bank");
+        self.next_pre = self.next_pre.max(at + t.t_rtp);
+    }
+
+    /// Applies a column write issued at `at`.
+    pub(crate) fn write(&mut self, at: Cycle, t: &Timing) {
+        debug_assert!(at >= self.next_col, "WR violates tRCD");
+        debug_assert!(self.open_row.is_some(), "WR on closed bank");
+        // Write recovery: the row must stay open until tCWL + tBURST + tWR.
+        self.next_pre = self.next_pre.max(at + t.t_cwl + t.t_burst() + t.t_wr);
+    }
+
+    /// Forces the bank closed by a refresh finishing at `ready`.
+    pub(crate) fn refresh_reset(&mut self, ready: Cycle) {
+        self.open_row = None;
+        self.next_act = self.next_act.max(ready);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Timing {
+        Timing::lpddr4()
+    }
+
+    #[test]
+    fn activate_sets_windows() {
+        let t = t();
+        let mut b = Bank::new();
+        b.activate(Cycle::new(100), 7, &t);
+        assert_eq!(b.open_row, Some(7));
+        assert_eq!(b.next_col, Cycle::new(100 + t.t_rcd));
+        assert_eq!(b.next_pre, Cycle::new(100 + t.t_ras));
+        assert_eq!(b.next_act, Cycle::new(100 + t.t_rc));
+    }
+
+    #[test]
+    fn precharge_closes_and_gates_act() {
+        let t = t();
+        let mut b = Bank::new();
+        b.activate(Cycle::new(0), 1, &t);
+        b.precharge(Cycle::new(t.t_ras), &t);
+        assert_eq!(b.open_row, None);
+        // next_act is the later of tRC-from-ACT and tRP-from-PRE.
+        assert_eq!(b.next_act, Cycle::new(t.t_rc.max(t.t_ras + t.t_rp)));
+    }
+
+    #[test]
+    fn read_extends_pre_window() {
+        let t = t();
+        let mut b = Bank::new();
+        b.activate(Cycle::new(0), 1, &t);
+        let rd_at = Cycle::new(t.t_ras - 2); // late read
+        b.read(rd_at, &t);
+        assert!(b.next_pre >= rd_at + t.t_rtp);
+    }
+
+    #[test]
+    fn write_recovery_is_longer_than_read() {
+        let t = t();
+        let mut rb = Bank::new();
+        rb.activate(Cycle::new(0), 1, &t);
+        rb.read(Cycle::new(16), &t);
+        let mut wb = Bank::new();
+        wb.activate(Cycle::new(0), 1, &t);
+        wb.write(Cycle::new(16), &t);
+        assert!(wb.next_pre > rb.next_pre);
+    }
+
+    #[test]
+    fn refresh_reset_closes_bank() {
+        let t = t();
+        let mut b = Bank::new();
+        b.activate(Cycle::new(0), 1, &t);
+        b.refresh_reset(Cycle::new(1000));
+        assert_eq!(b.open_row, None);
+        assert!(b.next_act >= Cycle::new(1000));
+    }
+}

@@ -1,0 +1,329 @@
+//! DRAM configuration: geometry, timing and address mapping.
+
+use planaria_common::{PhysAddr, BLOCKS_PER_SEGMENT, BLOCK_SIZE, NUM_CHANNELS};
+
+/// Inter-command timing constraints, in memory-controller cycles.
+///
+/// The values of [`Timing::lpddr4`] are exactly the paper's Table 1 set;
+/// `tCL`/`tCWL` (CAS latencies) are not listed in the table and use standard
+/// LPDDR4-3200 values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[allow(missing_docs)] // the fields are the standard JEDEC parameter names
+pub struct Timing {
+    pub t_ras: u64,
+    pub t_rcd: u64,
+    pub t_rrd: u64,
+    pub t_rc: u64,
+    pub t_rp: u64,
+    pub t_ccd: u64,
+    pub t_rtp: u64,
+    pub t_wtr: u64,
+    pub t_wr: u64,
+    pub t_rtrs: u64,
+    pub t_rfc: u64,
+    pub t_faw: u64,
+    pub t_cke: u64,
+    pub t_xp: u64,
+    pub t_cmd: u64,
+    pub t_cl: u64,
+    pub t_cwl: u64,
+    /// Burst length in beats; a 64 B block moves in `burst_length / 2`
+    /// clock cycles on the DDR bus.
+    pub burst_length: u64,
+    /// All-bank refresh interval.
+    pub t_refi: u64,
+}
+
+impl Timing {
+    /// Table 1's LPDDR4 timing set.
+    pub const fn lpddr4() -> Self {
+        Self {
+            t_ras: 51,
+            t_rcd: 16,
+            t_rrd: 12,
+            t_rc: 76,
+            t_rp: 16,
+            t_ccd: 8,
+            t_rtp: 9,
+            t_wtr: 12,
+            t_wr: 22,
+            t_rtrs: 2,
+            t_rfc: 216,
+            t_faw: 48,
+            t_cke: 9,
+            t_xp: 9,
+            t_cmd: 1,
+            t_cl: 28,
+            t_cwl: 14,
+            burst_length: 16,
+            t_refi: 6240,
+        }
+    }
+
+    /// Data-transfer time of one 64 B burst on the DDR bus.
+    pub const fn t_burst(&self) -> u64 {
+        self.burst_length / 2
+    }
+
+    /// Idealised row-hit read latency (`tCL + tBURST`).
+    pub const fn row_hit_latency(&self) -> u64 {
+        self.t_cl + self.t_burst()
+    }
+
+    /// Idealised row-miss (closed-bank) read latency (`tRCD + tCL + tBURST`).
+    pub const fn row_closed_latency(&self) -> u64 {
+        self.t_rcd + self.t_cl + self.t_burst()
+    }
+
+    /// Idealised row-conflict read latency (`tRP + tRCD + tCL + tBURST`).
+    pub const fn row_conflict_latency(&self) -> u64 {
+        self.t_rp + self.t_rcd + self.t_cl + self.t_burst()
+    }
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Self::lpddr4()
+    }
+}
+
+/// Maps a channel-local block to (bank, row, column-block).
+///
+/// The channel itself comes from the static page-segment slicing in
+/// [`planaria_common::PhysAddr::channel`]: each 4 KB page contributes one
+/// 16-block (1 KB) segment to each channel. Within a channel, consecutive
+/// segments fill a 2 KB row (two pages' worth), and rows interleave across
+/// banks — so a footprint prefetch burst within one page enjoys row-buffer
+/// locality, which is where Planaria's power advantage comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AddressMap {
+    /// Banks per channel (Table 1: 8).
+    pub banks: usize,
+    /// 64 B blocks per row (2 KB rows → 32 blocks).
+    pub blocks_per_row: u64,
+}
+
+impl AddressMap {
+    /// The Table 1 geometry.
+    pub const fn lpddr4() -> Self {
+        Self { banks: 8, blocks_per_row: 32 }
+    }
+
+    /// Decomposes an address into `(bank, row)` within its channel.
+    pub fn locate(&self, addr: PhysAddr) -> (usize, u64) {
+        // Channel-local block number: each page contributes
+        // BLOCKS_PER_SEGMENT consecutive blocks to this channel.
+        let page = addr.page().as_u64();
+        let local = page * BLOCKS_PER_SEGMENT as u64 + addr.block_index().index_in_segment() as u64;
+        let row_global = local / self.blocks_per_row;
+        let bank = (row_global % self.banks as u64) as usize;
+        let row = row_global / self.banks as u64;
+        (bank, row)
+    }
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        Self::lpddr4()
+    }
+}
+
+/// Command-scheduling discipline of each channel controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SchedulerKind {
+    /// First-ready, first-come-first-served: row hits first, then age
+    /// (the high-performance default).
+    #[default]
+    FrFcfs,
+    /// Strict first-come-first-served (the ablation baseline).
+    Fcfs,
+}
+
+impl core::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            SchedulerKind::FrFcfs => "FR-FCFS",
+            SchedulerKind::Fcfs => "FCFS",
+        })
+    }
+}
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PagePolicy {
+    /// Keep rows open after column commands (bets on row-buffer locality;
+    /// the default, and what pattern-bursting prefetchers feed).
+    #[default]
+    Open,
+    /// Auto-precharge after a column command unless another queued request
+    /// targets the same row (bets against locality; trades row hits for
+    /// cheaper conflicts).
+    Closed,
+}
+
+impl core::fmt::Display for PagePolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            PagePolicy::Open => "open-page",
+            PagePolicy::Closed => "closed-page",
+        })
+    }
+}
+
+/// Full controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DramConfig {
+    /// Channel count (the common static mapping assumes 4).
+    pub channels: usize,
+    /// Timing parameters.
+    pub timing: Timing,
+    /// Address decomposition.
+    pub map: AddressMap,
+    /// Per-channel request-queue depth (Table 1: 64).
+    pub queue_depth: usize,
+    /// Command scheduling discipline.
+    pub scheduler: SchedulerKind,
+    /// Row-buffer management policy.
+    pub page_policy: PagePolicy,
+    /// Model CKE power-down: an idle rank (no pending work for `t_cke`)
+    /// drops to reduced background power and pays `t_xp` to wake — the
+    /// LPDDR low-power behaviour Table 1's tCKE/tXP parameters exist for.
+    pub powerdown: bool,
+    /// Energy model parameters.
+    pub energy: crate::power::EnergyParams,
+    /// Record the full command log (for tests; costs memory).
+    pub record_log: bool,
+}
+
+impl DramConfig {
+    /// The paper's Table 1 memory system.
+    pub fn lpddr4() -> Self {
+        Self {
+            channels: NUM_CHANNELS,
+            timing: Timing::lpddr4(),
+            map: AddressMap::lpddr4(),
+            queue_depth: 64,
+            scheduler: SchedulerKind::default(),
+            page_policy: PagePolicy::default(),
+            powerdown: true,
+            energy: crate::power::EnergyParams::lpddr4(),
+            record_log: false,
+        }
+    }
+
+    /// Enables command-log recording (builder style).
+    #[must_use]
+    pub fn with_log(mut self) -> Self {
+        self.record_log = true;
+        self
+    }
+
+    /// Selects the scheduler (builder style).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Selects the row-buffer policy (builder style).
+    #[must_use]
+    pub fn with_page_policy(mut self, page_policy: PagePolicy) -> Self {
+        self.page_policy = page_policy;
+        self
+    }
+
+    /// Bytes per row (for documentation/reporting).
+    pub const fn row_bytes(&self) -> u64 {
+        self.map.blocks_per_row * BLOCK_SIZE
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::lpddr4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_common::PAGE_SIZE;
+
+    #[test]
+    fn table1_values() {
+        let t = Timing::lpddr4();
+        assert_eq!(t.t_ras, 51);
+        assert_eq!(t.t_rcd, 16);
+        assert_eq!(t.t_rc, 76);
+        assert_eq!(t.t_rfc, 216);
+        assert_eq!(t.t_faw, 48);
+        assert_eq!(t.burst_length, 16);
+        assert_eq!(t.t_burst(), 8);
+    }
+
+    #[test]
+    fn latency_helpers_are_ordered() {
+        let t = Timing::lpddr4();
+        assert!(t.row_hit_latency() < t.row_closed_latency());
+        assert!(t.row_closed_latency() < t.row_conflict_latency());
+    }
+
+    #[test]
+    fn same_page_segment_shares_a_row() {
+        let map = AddressMap::lpddr4();
+        // Blocks 0 and 15 of page 0 are both in channel 0's first segment
+        // and must land in the same row.
+        let a = PhysAddr::new(0);
+        let b = PhysAddr::new(15 * BLOCK_SIZE);
+        assert_eq!(a.channel(), b.channel());
+        assert_eq!(map.locate(a), map.locate(b));
+    }
+
+    #[test]
+    fn adjacent_pages_share_a_row_then_switch_banks() {
+        let map = AddressMap::lpddr4();
+        // 32-block rows hold two 16-block segments: pages 0 and 1 share a
+        // row; page 2 starts a new row on the next bank.
+        let p0 = PhysAddr::new(0);
+        let p1 = PhysAddr::new(PAGE_SIZE);
+        let p2 = PhysAddr::new(2 * PAGE_SIZE);
+        assert_eq!(map.locate(p0), map.locate(p1));
+        let (b0, r0) = map.locate(p0);
+        let (b2, r2) = map.locate(p2);
+        assert_ne!((b0, r0), (b2, r2));
+        assert_eq!(b2, (b0 + 1) % map.banks);
+    }
+
+    #[test]
+    fn rows_cycle_through_banks() {
+        let map = AddressMap::lpddr4();
+        let mut banks = Vec::new();
+        for seg_pair in 0..8u64 {
+            let addr = PhysAddr::new(seg_pair * 2 * PAGE_SIZE);
+            banks.push(map.locate(addr).0);
+        }
+        assert_eq!(banks, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = DramConfig::lpddr4();
+        assert_eq!(c.channels, 4);
+        assert_eq!(c.queue_depth, 64);
+        assert_eq!(c.row_bytes(), 2048);
+        assert!(!c.record_log);
+        assert!(c.with_log().record_log);
+        assert_eq!(c.scheduler, SchedulerKind::FrFcfs);
+        assert_eq!(c.with_scheduler(SchedulerKind::Fcfs).scheduler, SchedulerKind::Fcfs);
+        assert_eq!(c.page_policy, PagePolicy::Open);
+        assert_eq!(c.with_page_policy(PagePolicy::Closed).page_policy, PagePolicy::Closed);
+        assert!(!PagePolicy::Closed.to_string().is_empty());
+        assert!(c.powerdown);
+        assert!(!SchedulerKind::Fcfs.to_string().is_empty());
+    }
+}

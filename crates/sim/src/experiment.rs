@@ -1,0 +1,212 @@
+//! One-call experiment runners for (application × prefetcher) grids.
+//!
+//! Every figure harness in `planaria-bench` is a thin loop over these
+//! functions; keeping the grid logic here means tests, examples and benches
+//! all measure exactly the same pipeline.
+
+use core::fmt;
+
+use planaria_baselines::{Bop, NextLine, Spp, StridePf};
+use planaria_core::{NullPrefetcher, Planaria, PlanariaConfig, Prefetcher, Slp, Tlp};
+use planaria_trace::apps::{self, AppId};
+use planaria_trace::Trace;
+
+use crate::{MemorySystem, SimResult, SystemConfig};
+
+/// Selects a prefetcher configuration for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetcherKind {
+    /// No prefetcher (the paper's baseline system).
+    None,
+    /// Next-line reference.
+    NextLine,
+    /// PC-free per-page stride reference.
+    Stride,
+    /// Best-Offset Prefetching (HPCA'16).
+    Bop,
+    /// Signature Path Prefetcher (MICRO'16).
+    Spp,
+    /// SLP alone (intra-page sub-prefetcher).
+    SlpOnly,
+    /// TLP alone (inter-page sub-prefetcher).
+    TlpOnly,
+    /// Full Planaria (SLP + TLP + coordinator).
+    Planaria,
+    /// Planaria with TLP issuing disabled (Figure 9 ablation).
+    PlanariaSlpIssue,
+    /// Planaria with SLP issuing disabled (Figure 9 ablation).
+    PlanariaTlpIssue,
+    /// Planaria with the parallel coordinator (both issue every trigger).
+    PlanariaParallel,
+}
+
+impl PrefetcherKind {
+    /// The four configurations of Figures 7, 8 and 10.
+    pub const FIGURE_SET: [PrefetcherKind; 4] = [
+        PrefetcherKind::None,
+        PrefetcherKind::Bop,
+        PrefetcherKind::Spp,
+        PrefetcherKind::Planaria,
+    ];
+
+    /// Builds a fresh prefetcher instance.
+    pub fn build(self) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherKind::None => Box::new(NullPrefetcher::new()),
+            PrefetcherKind::NextLine => Box::new(NextLine::new()),
+            PrefetcherKind::Stride => Box::new(StridePf::default()),
+            PrefetcherKind::Bop => Box::new(Bop::default()),
+            PrefetcherKind::Spp => Box::new(Spp::default()),
+            PrefetcherKind::SlpOnly => Box::new(Slp::default()),
+            PrefetcherKind::TlpOnly => Box::new(Tlp::default()),
+            PrefetcherKind::Planaria => Box::new(Planaria::default()),
+            PrefetcherKind::PlanariaSlpIssue => {
+                Box::new(Planaria::new(PlanariaConfig::default().slp_only()))
+            }
+            PrefetcherKind::PlanariaTlpIssue => {
+                Box::new(Planaria::new(PlanariaConfig::default().tlp_only()))
+            }
+            PrefetcherKind::PlanariaParallel => {
+                Box::new(Planaria::new(PlanariaConfig::default().parallel()))
+            }
+        }
+    }
+
+    /// The label used in tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "None",
+            PrefetcherKind::NextLine => "NextLine",
+            PrefetcherKind::Stride => "Stride",
+            PrefetcherKind::Bop => "BOP",
+            PrefetcherKind::Spp => "SPP",
+            PrefetcherKind::SlpOnly => "SLP",
+            PrefetcherKind::TlpOnly => "TLP",
+            PrefetcherKind::Planaria => "Planaria",
+            PrefetcherKind::PlanariaSlpIssue => "Planaria(SLP)",
+            PrefetcherKind::PlanariaTlpIssue => "Planaria(TLP)",
+            PrefetcherKind::PlanariaParallel => "Planaria(parallel)",
+        }
+    }
+}
+
+impl fmt::Display for PrefetcherKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Runs one prefetcher over one prepared trace with Table 1 defaults.
+pub fn run_trace(trace: &Trace, kind: PrefetcherKind) -> SimResult {
+    run_trace_with(trace, kind, SystemConfig::default())
+}
+
+/// Runs one prefetcher over one prepared trace with a custom system.
+pub fn run_trace_with(trace: &Trace, kind: PrefetcherKind, cfg: SystemConfig) -> SimResult {
+    MemorySystem::new(cfg, kind.build()).run(trace)
+}
+
+/// Builds the `app` trace at `length` accesses and runs `kind` over it.
+pub fn run_app(app: AppId, kind: PrefetcherKind, length: usize) -> SimResult {
+    let trace = apps::profile(app).scaled(length).build();
+    run_trace(&trace, kind)
+}
+
+/// Runs a set of prefetchers over one app's trace (trace built once).
+pub fn run_app_suite(app: AppId, kinds: &[PrefetcherKind], length: usize) -> Vec<SimResult> {
+    let trace = apps::profile(app).scaled(length).build();
+    kinds.iter().map(|&k| run_trace(&trace, k)).collect()
+}
+
+/// The full evaluation grid: every Table 2 app × the given prefetchers.
+///
+/// Results are grouped per app in `kinds` order — the shape every figure
+/// harness consumes.
+pub fn run_grid(kinds: &[PrefetcherKind], length: usize) -> Vec<Vec<SimResult>> {
+    AppId::ALL
+        .iter()
+        .map(|&app| run_app_suite(app, kinds, length))
+        .collect()
+}
+
+/// Geometric-mean helper for "average over apps" rows (ratios average
+/// multiplicatively).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean helper for additive quantities (hit rates, deltas).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_with_matching_labels() {
+        for kind in [
+            PrefetcherKind::None,
+            PrefetcherKind::NextLine,
+            PrefetcherKind::Stride,
+            PrefetcherKind::Bop,
+            PrefetcherKind::Spp,
+            PrefetcherKind::SlpOnly,
+            PrefetcherKind::TlpOnly,
+            PrefetcherKind::Planaria,
+        ] {
+            let pf = kind.build();
+            assert!(!pf.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(PrefetcherKind::Planaria.build().name(), "Planaria");
+        assert_eq!(PrefetcherKind::PlanariaSlpIssue.build().name(), "Planaria(SLP-only)");
+    }
+
+    #[test]
+    fn run_app_produces_consistent_result() {
+        let r = run_app(AppId::Cfm, PrefetcherKind::None, 5_000);
+        assert_eq!(r.accesses, 5_000);
+        assert_eq!(r.workload, "CFM");
+        assert_eq!(r.prefetcher, "None");
+        assert!(r.amat_cycles > 0.0);
+    }
+
+    #[test]
+    fn suite_shares_one_trace() {
+        let rs = run_app_suite(AppId::Hi3, &[PrefetcherKind::None, PrefetcherKind::Planaria], 5_000);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].accesses, rs[1].accesses);
+    }
+
+    #[test]
+    fn means() {
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean([1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Trace-driven full-memory-system simulator for the Planaria study.
+//!
+//! This crate glues the substrates together into the paper's evaluation
+//! pipeline ("physical traces + trace-driven simulation"):
+//!
+//! ```text
+//! trace ──▶ system cache ──miss──▶ MSHRs ──▶ LPDDR4 controller
+//!             │   ▲                              │
+//!             ▼   └── fills (demand/prefetch) ◀──┘
+//!          prefetcher (learning on all accesses, issuing on misses)
+//!             │
+//!             ▼
+//!        prefetch queue ──▶ LPDDR4 controller (low priority)
+//! ```
+//!
+//! * [`MemorySystem`] — the event loop: demand lookups, miss handling with
+//!   in-flight merging and late-prefetch upgrades, prefetch filtering
+//!   (cache / in-flight / queue dedup), dirty writebacks, and final drain.
+//! * [`SystemConfig`] — Table 1 defaults (4 MB 16-way SC, 4-channel
+//!   LPDDR4, queue depth 64).
+//! * [`SimResult`] — hit rate, AMAT, traffic split, energy/power, prefetch
+//!   accuracy/coverage and the SLP/TLP usefulness split (Figure 9).
+//! * [`ipc`] — the analytic AMAT→IPC model documented in DESIGN.md.
+//! * [`experiment`] — one-call runners for (application × prefetcher)
+//!   grids, used by every figure harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use planaria_sim::experiment::{run_app, PrefetcherKind};
+//! use planaria_trace::apps::AppId;
+//!
+//! // A fast, scaled-down Planaria run on the HoK-like workload.
+//! let result = run_app(AppId::HoK, PrefetcherKind::Planaria, 20_000);
+//! assert!(result.hit_rate > 0.0 && result.hit_rate < 1.0);
+//! assert!(result.amat_cycles > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod ipc;
+mod metrics;
+mod system;
+pub mod table;
+
+pub use metrics::{DeviceStat, SimResult, TrafficBreakdown};
+pub use system::{GovernorConfig, MemorySystem, SystemConfig};

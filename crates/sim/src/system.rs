@@ -1,0 +1,685 @@
+//! The memory-system event loop.
+
+use std::collections::HashMap;
+
+use planaria_cache::{AccessResult, CacheConfig, PrefetchQueue, SetAssocCache};
+use planaria_common::{Cycle, MemAccess, PhysAddr, PrefetchOrigin, PrefetchRequest};
+use planaria_core::Prefetcher;
+use planaria_dram::{Completion, DramConfig, MemoryController, Priority};
+
+use crate::metrics::{DeviceStat, SimResult, TrafficBreakdown};
+
+/// Feedback-directed prefetch throttling (Srinath et al., HPCA 2007
+/// style): the controller samples prefetch accuracy over fixed intervals
+/// and gates the prefetcher's requests while accuracy is poor.
+///
+/// Orthogonal to the prefetcher: a governor can tame an inaccurate
+/// prefetcher's traffic (at the cost of its remaining coverage), while an
+/// accurate one never trips it — which is exactly the comparison the
+/// `ablation_governor` harness runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GovernorConfig {
+    /// Demand accesses per sampling interval.
+    pub interval: u64,
+    /// Accuracy below which prefetching is gated for the next interval.
+    pub low_accuracy: f64,
+    /// Minimum prefetch fills in an interval before the verdict counts
+    /// (avoids gating on noise).
+    pub min_samples: u64,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        Self { interval: 10_000, low_accuracy: 0.4, min_samples: 64 }
+    }
+}
+
+/// Full-system configuration (Table 1 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// System-cache geometry.
+    pub cache: CacheConfig,
+    /// LPDDR4 controller configuration.
+    pub dram: DramConfig,
+    /// SC lookup/hit latency in cycles.
+    pub sc_hit_latency: u64,
+    /// Prefetch-queue capacity (Figure 1's staging queue).
+    pub prefetch_queue_cap: usize,
+    /// Energy of one SC data access (pJ) — demand hits and all fills.
+    pub sc_access_pj: f64,
+    /// Energy of one prefetcher metadata-table access (pJ).
+    pub table_access_pj: f64,
+    /// Memory-controller clock (Hz), for absolute power reporting.
+    pub clock_hz: f64,
+    /// Optional feedback-directed prefetch throttling.
+    pub governor: Option<GovernorConfig>,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            cache: CacheConfig::system_cache(),
+            dram: DramConfig::lpddr4(),
+            sc_hit_latency: 30,
+            prefetch_queue_cap: 64,
+            sc_access_pj: 500.0,
+            table_access_pj: 15.0,
+            clock_hz: 1.6e9,
+            governor: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Inflight {
+    /// `Some(origin)` while the outstanding fill is still speculative.
+    origin: Option<PrefetchOrigin>,
+    /// Demand accesses (their arrival cycles) waiting on this fill.
+    waiters: Vec<Cycle>,
+    /// A waiting demand was a write: the fill must land dirty
+    /// (write-allocate semantics).
+    wrote: bool,
+}
+
+/// The trace-driven memory system: SC + prefetcher + LPDDR4.
+pub struct MemorySystem {
+    cfg: SystemConfig,
+    sc: SetAssocCache,
+    dram: MemoryController,
+    prefetcher: Box<dyn Prefetcher>,
+    queue: PrefetchQueue,
+    /// Outstanding fills keyed by block number.
+    inflight: HashMap<u64, Inflight>,
+    scratch: Vec<PrefetchRequest>,
+    // --- accumulated metrics ---
+    latency_sum: f64,
+    demand_count: u64,
+    late_prefetches: u64,
+    prefetches_issued: u64,
+    prefetches_filtered: u64,
+    writebacks_dropped: u64,
+    /// (accesses, hits) per device category: cpu, gpu, npu, isp, dsp.
+    device_counts: [(u64, u64); 5],
+    /// Governor state: (interval-start useful, interval-start fills,
+    /// accesses into interval, currently gated).
+    governor_state: GovernorState,
+    first_cycle: Option<Cycle>,
+    last_cycle: Cycle,
+}
+
+fn device_slot(device: planaria_common::DeviceId) -> usize {
+    use planaria_common::DeviceId::*;
+    match device {
+        Cpu(_) => 0,
+        Gpu => 1,
+        Npu => 2,
+        Isp => 3,
+        Dsp => 4,
+    }
+}
+
+const DEVICE_LABELS: [&str; 5] = ["cpu", "gpu", "npu", "isp", "dsp"];
+
+#[derive(Debug, Clone, Copy, Default)]
+struct GovernorState {
+    interval_accesses: u64,
+    useful_at_start: u64,
+    fills_at_start: u64,
+    gated: bool,
+    /// Round-robin probe counter: while gated, one request in
+    /// [`GOVERNOR_PROBE_PERIOD`] still goes out so accuracy keeps being
+    /// sampled (otherwise a gated prefetcher could never redeem itself).
+    probe: u64,
+    /// Prefetch requests suppressed by the governor (reported for tests).
+    suppressed: u64,
+}
+
+/// While gated, 1 in this many requests is let through as a probe.
+const GOVERNOR_PROBE_PERIOD: u64 = 8;
+
+impl MemorySystem {
+    /// Builds a system around a prefetcher.
+    pub fn new(cfg: SystemConfig, prefetcher: Box<dyn Prefetcher>) -> Self {
+        Self {
+            sc: SetAssocCache::new(cfg.cache),
+            dram: MemoryController::new(cfg.dram),
+            prefetcher,
+            queue: PrefetchQueue::new(cfg.prefetch_queue_cap),
+            inflight: HashMap::new(),
+            scratch: Vec::new(),
+            latency_sum: 0.0,
+            demand_count: 0,
+            late_prefetches: 0,
+            prefetches_issued: 0,
+            prefetches_filtered: 0,
+            writebacks_dropped: 0,
+            device_counts: [(0, 0); 5],
+            governor_state: GovernorState::default(),
+            first_cycle: None,
+            last_cycle: Cycle::ZERO,
+            cfg,
+        }
+    }
+
+    /// The prefetcher's display name.
+    pub fn prefetcher_name(&self) -> &str {
+        self.prefetcher.name()
+    }
+
+    /// The cumulative SC demand hit rate so far (for live progress views;
+    /// the authoritative numbers come from [`MemorySystem::finish`]).
+    pub fn interim_hit_rate(&self) -> f64 {
+        self.sc.stats().hit_rate()
+    }
+
+    /// Prefetch requests suppressed by the governor so far.
+    pub fn governor_suppressed(&self) -> u64 {
+        self.governor_state.suppressed
+    }
+
+    /// Advances the governor's interval clock; returns whether prefetch
+    /// requests are currently gated.
+    fn governor_tick(&mut self) -> bool {
+        let Some(gov) = self.cfg.governor else { return false };
+        let g = &mut self.governor_state;
+        g.interval_accesses += 1;
+        if g.interval_accesses >= gov.interval {
+            let stats = self.sc.stats();
+            let fills = stats.prefetch_fills - g.fills_at_start;
+            let useful = stats.useful_prefetches - g.useful_at_start;
+            if fills >= gov.min_samples {
+                let accuracy = useful as f64 / fills as f64;
+                g.gated = accuracy < gov.low_accuracy;
+            }
+            // Too few samples: keep the previous verdict (the probe stream
+            // keeps feeding samples while gated).
+            g.interval_accesses = 0;
+            g.fills_at_start = stats.prefetch_fills;
+            g.useful_at_start = stats.useful_prefetches;
+        }
+        g.gated
+    }
+
+    fn handle_completion(&mut self, c: Completion) {
+        if c.is_write {
+            return; // writeback retired; nothing waits on it
+        }
+        let Some(entry) = self.inflight.remove(&c.addr.block_number()) else {
+            return;
+        };
+        // Waiting demands pay the residual memory latency.
+        for w in &entry.waiters {
+            self.latency_sum +=
+                (self.cfg.sc_hit_latency + c.finish.since(*w)) as f64;
+        }
+        // A prefetch nobody consumed fills speculatively; anything a demand
+        // waited on fills as a demand line.
+        let origin = if entry.waiters.is_empty() { entry.origin } else { None };
+        let evicted = self.sc.fill(c.addr, origin);
+        if entry.wrote {
+            self.sc.mark_dirty(c.addr);
+        }
+        if let Some(e) = evicted {
+            if e.dirty {
+                self.enqueue_writeback(e.addr, c.finish);
+            }
+        }
+    }
+
+    fn pump_dram(&mut self, now: Cycle) {
+        for c in self.dram.advance_to(now) {
+            self.handle_completion(c);
+        }
+    }
+
+    /// Forces queue room for a must-issue request by servicing the DRAM
+    /// forward in bounded steps (models controller backpressure).
+    fn make_room(&mut self, addr: PhysAddr, mut now: Cycle) -> Cycle {
+        while !self.dram.has_room_for(addr) {
+            now += 500;
+            self.pump_dram(now);
+        }
+        now
+    }
+
+    fn enqueue_writeback(&mut self, addr: PhysAddr, now: Cycle) {
+        if !self.dram.has_room_for(addr) {
+            // Writebacks are fire-and-forget; under extreme pressure we
+            // drop rather than deadlock the trace loop, and count it.
+            self.writebacks_dropped += 1;
+            return;
+        }
+        self.dram
+            .try_enqueue(addr, true, Priority::Writeback, now)
+            .expect("room checked");
+    }
+
+    /// Feeds one demand access through the system.
+    pub fn process(&mut self, access: &MemAccess) {
+        let now = access.cycle;
+        self.first_cycle.get_or_insert(now);
+        self.last_cycle = self.last_cycle.max(now);
+        self.pump_dram(now);
+        self.demand_count += 1;
+        self.device_counts[device_slot(access.device)].0 += 1;
+
+        let block_addr = access.addr.block_base();
+        let result = self.sc.access(access.addr, access.kind);
+        // The first demand touch of a prefetched line re-triggers the
+        // prefetcher exactly like a miss would (the standard
+        // "prefetched hit" trigger) — without it, a chain of next-line
+        // prefetches would stall after every successful step.
+        let covered_hit =
+            matches!(result, AccessResult::Hit { first_use_of_prefetch: None });
+        match result {
+            AccessResult::Hit { .. } => {
+                self.latency_sum += self.cfg.sc_hit_latency as f64;
+                self.device_counts[device_slot(access.device)].1 += 1;
+            }
+            AccessResult::Miss => {
+                if let Some(entry) = self.inflight.get_mut(&block_addr.block_number()) {
+                    // Merge into the outstanding fill; a speculative fill
+                    // becomes a (late) demand fill.
+                    if entry.origin.take().is_some() {
+                        self.late_prefetches += 1;
+                    }
+                    entry.waiters.push(now);
+                    entry.wrote |= access.kind.is_write();
+                } else {
+                    // A queued-but-unissued prefetch is superseded.
+                    self.queue.cancel(block_addr);
+                    let now = self.make_room(block_addr, now);
+                    self.dram
+                        .try_enqueue(block_addr, false, Priority::Demand, now)
+                        .expect("room was made");
+                    self.inflight.insert(
+                        block_addr.block_number(),
+                        Inflight {
+                            origin: None,
+                            waiters: vec![access.cycle],
+                            wrote: access.kind.is_write(),
+                        },
+                    );
+                }
+            }
+        }
+
+        // Prefetcher: learning on every access, issuing per its own rules.
+        // (Learning always runs; the governor only gates the requests.)
+        let gated = self.governor_tick();
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.prefetcher.on_access(access, covered_hit, &mut scratch);
+        if gated {
+            // Keep one probe in GOVERNOR_PROBE_PERIOD; drop the rest.
+            let g = &mut self.governor_state;
+            scratch.retain(|_| {
+                g.probe += 1;
+                if g.probe.is_multiple_of(GOVERNOR_PROBE_PERIOD) {
+                    true
+                } else {
+                    g.suppressed += 1;
+                    false
+                }
+            });
+        }
+        for req in scratch.drain(..) {
+            if self.sc.contains(req.addr)
+                || self.inflight.contains_key(&req.addr.block_number())
+                || self.queue.contains_block(req.addr)
+            {
+                self.prefetches_filtered += 1;
+                continue;
+            }
+            self.queue.push(req);
+        }
+        self.scratch = scratch;
+
+        // Drain staged prefetches into whatever channel room exists.
+        while let Some(req) = self.next_issuable() {
+            self.dram
+                .try_enqueue(req.addr, false, Priority::Prefetch, now)
+                .expect("room checked");
+            self.inflight.insert(
+                req.addr.block_number(),
+                Inflight { origin: Some(req.origin), waiters: Vec::new(), wrote: false },
+            );
+            self.prefetches_issued += 1;
+        }
+    }
+
+    /// Pops the next prefetch that should actually go to DRAM. Entries that
+    /// became stale while queued (block filled meanwhile) are discarded;
+    /// a full target channel stops draining (FIFO head-of-line — the
+    /// speculative stream must not starve any channel of queue slots).
+    fn next_issuable(&mut self) -> Option<PrefetchRequest> {
+        loop {
+            let head = self.queue.pop()?;
+            if self.sc.contains(head.addr)
+                || self.inflight.contains_key(&head.addr.block_number())
+            {
+                continue; // stale: already present or being fetched
+            }
+            if self.dram.has_room_for(head.addr) {
+                return Some(head);
+            }
+            let _ = self.queue_push_front(head);
+            return None;
+        }
+    }
+
+    /// Re-inserts a popped request at the front (internal helper).
+    fn queue_push_front(&mut self, req: PrefetchRequest) -> bool {
+        // PrefetchQueue has no push_front; emulate by draining. The queue
+        // is small (≤64), so this stays cheap and keeps dedup intact.
+        let mut rest = Vec::with_capacity(self.queue.len() + 1);
+        rest.push(req);
+        while let Some(r) = self.queue.pop() {
+            rest.push(r);
+        }
+        let mut ok = true;
+        for r in rest {
+            ok &= self.queue.push(r);
+        }
+        ok
+    }
+
+    /// Runs a whole trace and finalises the result.
+    pub fn run(self, trace: &planaria_trace::Trace) -> SimResult {
+        self.run_with_warmup(trace, 0.0)
+    }
+
+    /// Runs a trace, discarding metrics accumulated during the leading
+    /// `warmup` fraction (`0.0..1.0`) of accesses. Cache contents,
+    /// prefetcher state and DRAM protocol state carry over — only the
+    /// counters reset — so steady-state behaviour is measured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` is not within `0.0..1.0`.
+    pub fn run_with_warmup(mut self, trace: &planaria_trace::Trace, warmup: f64) -> SimResult {
+        assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
+        let skip = (trace.len() as f64 * warmup) as usize;
+        for (i, a) in trace.iter().enumerate() {
+            if i == skip && skip > 0 {
+                self.reset_metrics();
+            }
+            self.process(a);
+        }
+        self.finish(trace.name())
+    }
+
+    /// Zeroes every accumulated metric while keeping microarchitectural
+    /// state (cache contents, prefetcher tables, DRAM bank state).
+    fn reset_metrics(&mut self) {
+        self.sc.reset_stats();
+        self.dram.reset_stats();
+        self.latency_sum = 0.0;
+        self.demand_count = 0;
+        self.late_prefetches = 0;
+        self.prefetches_issued = 0;
+        self.prefetches_filtered = 0;
+        self.writebacks_dropped = 0;
+        self.device_counts = [(0, 0); 5];
+        self.governor_state = GovernorState::default();
+        self.first_cycle = None;
+    }
+
+    /// Drains all outstanding work and produces the result record.
+    pub fn finish(mut self, workload: &str) -> SimResult {
+        // Issue whatever prefetches still fit, then let DRAM finish.
+        while let Some(req) = self.next_issuable() {
+            self.dram
+                .try_enqueue(req.addr, false, Priority::Prefetch, self.last_cycle)
+                .expect("room checked");
+            self.inflight.insert(
+                req.addr.block_number(),
+                Inflight { origin: Some(req.origin), waiters: Vec::new(), wrote: false },
+            );
+            self.prefetches_issued += 1;
+        }
+        let done = self.dram.drain();
+        for c in done {
+            self.handle_completion(c);
+        }
+
+        let cache = *self.sc.stats();
+        let dram = self.dram.stats();
+        let duration = dram
+            .last_finish
+            .max(self.last_cycle)
+            .since(self.first_cycle.unwrap_or(Cycle::ZERO))
+            .max(1);
+        let demand_reads = dram.n_rd - self.prefetches_issued.min(dram.n_rd);
+        let dram_energy = self.dram.energy_pj(duration);
+        let sc_energy = (cache.demand_accesses() + cache.demand_fills + cache.prefetch_fills)
+            as f64
+            * self.cfg.sc_access_pj;
+        let pf_energy = self.prefetcher.table_accesses() as f64 * self.cfg.table_access_pj;
+        let total_energy = dram_energy + sc_energy + pf_energy;
+        let amat = if self.demand_count == 0 {
+            0.0
+        } else {
+            self.latency_sum / self.demand_count as f64
+        };
+
+        SimResult {
+            workload: workload.to_string(),
+            prefetcher: self.prefetcher.name().to_string(),
+            accesses: self.demand_count,
+            hit_rate: cache.hit_rate(),
+            amat_cycles: amat,
+            traffic: TrafficBreakdown {
+                demand_reads,
+                prefetch_reads: self.prefetches_issued,
+                writebacks: dram.n_wr,
+            },
+            useful_prefetches: cache.useful_prefetches,
+            useful_slp: cache.useful_slp,
+            useful_tlp: cache.useful_tlp,
+            late_prefetches: self.late_prefetches,
+            polluting_prefetches: cache.polluting_prefetches,
+            prefetch_accuracy: cache.prefetch_accuracy(),
+            prefetch_coverage: cache.prefetch_coverage(),
+            prefetches_filtered: self.prefetches_filtered,
+            writebacks_dropped: self.writebacks_dropped,
+            duration_cycles: duration,
+            dram_energy_pj: dram_energy,
+            sc_energy_pj: sc_energy,
+            prefetcher_energy_pj: pf_energy,
+            total_energy_pj: total_energy,
+            power_mw: total_energy / duration as f64 * self.cfg.clock_hz / 1e9,
+            dram_row_hit_rate: dram.row_hit_rate(),
+            storage_bits: self.prefetcher.storage_bits(),
+            device_stats: DEVICE_LABELS
+                .iter()
+                .zip(self.device_counts)
+                .filter(|(_, (accesses, _))| *accesses > 0)
+                .map(|(label, (accesses, hits))| DeviceStat {
+                    device: (*label).to_string(),
+                    accesses,
+                    hits,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_core::NullPrefetcher;
+    use planaria_trace::Trace;
+
+    fn read(addr: u64, cycle: u64) -> MemAccess {
+        MemAccess::read(PhysAddr::new(addr), Cycle::new(cycle))
+    }
+
+    #[test]
+    fn cold_misses_have_memory_latency() {
+        let sys = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()));
+        let trace = Trace::new("t", vec![read(0x0000, 0), read(0x4000, 1000)]);
+        let r = sys.run(&trace);
+        assert_eq!(r.accesses, 2);
+        assert_eq!(r.hit_rate, 0.0);
+        // Both misses: AMAT far above the hit latency.
+        assert!(r.amat_cycles > 40.0, "amat {}", r.amat_cycles);
+        assert_eq!(r.traffic.demand_reads, 2);
+        assert_eq!(r.traffic.prefetch_reads, 0);
+    }
+
+    #[test]
+    fn repeated_block_hits_after_fill() {
+        let sys = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()));
+        // Revisit the same block after the fill completed.
+        let trace = Trace::new("t", vec![read(0x0000, 0), read(0x0000, 10_000)]);
+        let r = sys.run(&trace);
+        assert!((r.hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_in_flight_misses_merge() {
+        let sys = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()));
+        // Second access arrives 1 cycle later: fill not complete -> merge.
+        let trace = Trace::new("t", vec![read(0x0000, 0), read(0x0000, 1)]);
+        let r = sys.run(&trace);
+        assert_eq!(r.traffic.demand_reads, 1, "one DRAM read, two waiters");
+        assert_eq!(r.accesses, 2);
+    }
+
+    #[test]
+    fn writes_cause_writebacks_only_on_dirty_eviction() {
+        let cfg = SystemConfig {
+            cache: CacheConfig { size_bytes: 512, ways: 2, ..CacheConfig::system_cache() },
+            ..SystemConfig::default()
+        };
+        let sys = MemorySystem::new(cfg, Box::new(NullPrefetcher::new()));
+        // Fill set 0 (4 sets of 64B blocks, 2 ways): blocks 0, 4, 8 map to
+        // set 0 (block_number % 4). Write block 0, then evict it twice over.
+        let trace = Trace::new(
+            "t",
+            vec![
+                MemAccess::write(PhysAddr::new(0), Cycle::new(0)),
+                read(4 * 64, 5_000),
+                read(8 * 64, 10_000),
+                read(12 * 64, 15_000),
+            ],
+        );
+        let r = sys.run(&trace);
+        assert_eq!(r.traffic.writebacks, 1, "exactly the dirty line writes back");
+    }
+
+    #[test]
+    fn null_prefetcher_issues_nothing() {
+        let sys = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()));
+        let accesses: Vec<MemAccess> =
+            (0..100).map(|i| read(i * 64, i * 200)).collect();
+        let r = sys.run(&Trace::new("t", accesses));
+        assert_eq!(r.traffic.prefetch_reads, 0);
+        assert_eq!(r.useful_prefetches, 0);
+        assert!(r.power_mw > 0.0);
+        assert!(r.duration_cycles > 0);
+    }
+
+    #[test]
+    fn next_line_converts_stream_misses_into_hits() {
+        let mk = |pf: Box<dyn Prefetcher>| {
+            let sys = MemorySystem::new(SystemConfig::default(), pf);
+            let accesses: Vec<MemAccess> =
+                (0..2000u64).map(|i| read(i * 64, i * 300)).collect();
+            sys.run(&Trace::new("stream", accesses))
+        };
+        let none = mk(Box::new(NullPrefetcher::new()));
+        let nl = mk(Box::new(planaria_baselines::NextLine::new()));
+        assert!(nl.hit_rate > none.hit_rate + 0.5, "nl {} vs none {}", nl.hit_rate, none.hit_rate);
+        assert!(nl.amat_cycles < none.amat_cycles);
+        assert!(nl.prefetch_accuracy > 0.9, "accuracy {}", nl.prefetch_accuracy);
+    }
+
+    #[test]
+    fn governor_gates_inaccurate_prefetchers() {
+        // Next-line on uniform random traffic: near-zero accuracy. The
+        // governor must slash its traffic; coverage was ~zero anyway.
+        let trace = {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(3);
+            let accesses: Vec<MemAccess> = (0..60_000u64)
+                .map(|i| read(rng.gen_range(0..1u64 << 22) * 64, i * 100))
+                .collect();
+            Trace::new("rand", accesses)
+        };
+        let free = MemorySystem::new(
+            SystemConfig::default(),
+            Box::new(planaria_baselines::NextLine::new()),
+        )
+        .run(&trace);
+        let cfg = SystemConfig {
+            governor: Some(GovernorConfig { interval: 2_000, ..GovernorConfig::default() }),
+            ..SystemConfig::default()
+        };
+        let governed = MemorySystem::new(cfg, Box::new(planaria_baselines::NextLine::new()))
+            .run(&trace);
+        assert!(
+            governed.traffic.prefetch_reads * 3 < free.traffic.prefetch_reads,
+            "governor barely helped: {} vs {}",
+            governed.traffic.prefetch_reads,
+            free.traffic.prefetch_reads
+        );
+        assert!(governed.hit_rate >= free.hit_rate - 0.02, "coverage was ~zero anyway");
+    }
+
+    #[test]
+    fn governor_leaves_accurate_prefetchers_alone() {
+        // A sequential stream: next-line accuracy ~1.0; the governor must
+        // never gate it.
+        let accesses: Vec<MemAccess> =
+            (0..50_000u64).map(|i| read(i * 64, i * 200)).collect();
+        let trace = Trace::new("stream", accesses);
+        let cfg = SystemConfig {
+            governor: Some(GovernorConfig { interval: 2_000, ..GovernorConfig::default() }),
+            ..SystemConfig::default()
+        };
+        let free = MemorySystem::new(
+            SystemConfig::default(),
+            Box::new(planaria_baselines::NextLine::new()),
+        )
+        .run(&trace);
+        let governed = MemorySystem::new(cfg, Box::new(planaria_baselines::NextLine::new()))
+            .run(&trace);
+        assert!((governed.hit_rate - free.hit_rate).abs() < 0.01);
+        assert_eq!(governed.traffic.prefetch_reads, free.traffic.prefetch_reads);
+    }
+
+    #[test]
+    fn warmup_discards_cold_misses() {
+        let accesses: Vec<MemAccess> = (0..200u64)
+            .map(|i| read((i % 100) * 64, i * 5_000))
+            .collect();
+        let trace = Trace::new("w", accesses);
+        let cold = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()))
+            .run(&trace);
+        let warm = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()))
+            .run_with_warmup(&trace, 0.5);
+        // First half is all cold misses; the measured half is all hits.
+        assert!((cold.hit_rate - 0.5).abs() < 1e-9, "cold {}", cold.hit_rate);
+        assert!((warm.hit_rate - 1.0).abs() < 1e-9, "warm {}", warm.hit_rate);
+        assert_eq!(warm.accesses, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup fraction")]
+    fn warmup_rejects_out_of_range() {
+        let sys = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()));
+        let _ = sys.run_with_warmup(&Trace::empty("e"), 1.5);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let sys = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()));
+        let r = sys.run(&Trace::empty("empty"));
+        assert_eq!(r.accesses, 0);
+        assert_eq!(r.amat_cycles, 0.0);
+    }
+}

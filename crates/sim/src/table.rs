@@ -1,0 +1,119 @@
+//! Plain-text table rendering for the figure harnesses.
+//!
+//! Every harness binary prints its figure as an aligned text table (one row
+//! per application plus an average row), which is the closest faithful
+//! terminal rendering of the paper's bar charts.
+
+use core::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a separator-then-row (used before average rows).
+    pub fn rule(&mut self) -> &mut Self {
+        self.rows.push(Vec::new()); // empty row renders as a rule
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = width[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<w$}", c, w = width[i]);
+                } else {
+                    let _ = write!(out, "  {:>w$}", c, w = width[i]);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            if row.is_empty() {
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            } else {
+                write_row(&mut out, row);
+            }
+        }
+        out
+    }
+}
+
+/// Formats a signed fraction as a percentage (`-0.243` → `"-24.3%"`).
+pub fn pct(frac: f64) -> String {
+    format!("{:+.1}%", frac * 100.0)
+}
+
+/// Formats an unsigned fraction as a percentage (`0.82` → `"82.0%"`).
+pub fn pct0(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["app", "value"]);
+        t.row(["CFM", "1.0"]).row(["HoK", "12.5"]).rule().row(["avg", "6.75"]);
+        let s = t.render();
+        assert!(s.contains("CFM"));
+        assert!(s.contains("avg"));
+        // Separator lines present (header + explicit rule).
+        assert!(s.matches('-').count() > 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(pct(-0.243), "-24.3%");
+        assert_eq!(pct(0.005), "+0.5%");
+        assert_eq!(pct0(0.82), "82.0%");
+    }
+}

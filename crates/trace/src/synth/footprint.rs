@@ -1,0 +1,234 @@
+//! The footprint-snapshot traffic component (Observation 1).
+//!
+//! Models the paper's Figure 2 behaviour: a pool of pages, each with a
+//! stable *footprint snapshot* (a fixed set of blocks). Pages are revisited
+//! in rounds (long reuse distance); within a visit the snapshot's blocks
+//! arrive in a **shuffled, non-deterministic order** over a brief interval,
+//! which is exactly what defeats delta-sequence prefetchers while leaving
+//! the bitmap pattern fully predictable for SLP.
+//!
+//! Snapshot *stability* is parameterised: with probability
+//! [`FootprintSpec::mutation_prob`] a revisit first swaps
+//! [`FootprintSpec::mutation_bits`] blocks of the snapshot for fresh ones.
+//! The expected window-overlap rate measured by the Figure 4 methodology is
+//! therefore roughly `1 − mutation_prob × mutation_bits / footprint_blocks`,
+//! which is how the per-app overlap levels of Figure 4 are dialled in.
+
+use planaria_common::{Bitmap64, BlockIndex, Cycle, MemAccess, PageNum, PhysAddr, BLOCKS_PER_PAGE};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use super::{emit, rng_for, sample_gap, Envelope};
+
+/// Parameters of the footprint component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FootprintSpec {
+    /// Number of pages in the revisited pool.
+    pub pages: usize,
+    /// Blocks per snapshot (out of 64).
+    pub footprint_blocks: usize,
+    /// Probability that a revisit mutates the snapshot first.
+    pub mutation_prob: f64,
+    /// Blocks swapped per mutation.
+    pub mutation_bits: usize,
+    /// Mean cycles between blocks within one visit.
+    pub intra_gap: u64,
+    /// Mean cycles between consecutive page visits.
+    pub inter_gap: u64,
+    /// Page-number spacing between pool pages (1 = contiguous).
+    ///
+    /// Physical pages of a mobile app's hot working set are scattered by
+    /// the allocator; spacing the pool out removes the artificial
+    /// cross-page adjacency that a contiguous pool would hand to offset
+    /// prefetchers.
+    pub page_spread: u64,
+    /// Device / read-ratio envelope.
+    pub envelope: Envelope,
+}
+
+impl Default for FootprintSpec {
+    /// A medium-size pool whose snapshots overlap ≈94% between visits —
+    /// in the middle of the paper's Figure 4 range.
+    fn default() -> Self {
+        Self {
+            pages: 2048,
+            footprint_blocks: 16,
+            mutation_prob: 0.5,
+            mutation_bits: 2,
+            intra_gap: 60,
+            inter_gap: 600,
+            page_spread: 1,
+            envelope: Envelope::default(),
+        }
+    }
+}
+
+impl FootprintSpec {
+    /// Expected Figure-4-style overlap rate implied by the parameters.
+    pub fn expected_overlap(&self) -> f64 {
+        1.0 - self.mutation_prob * self.mutation_bits as f64 / self.footprint_blocks as f64
+    }
+
+    pub(crate) fn generate(
+        &self,
+        seed: u64,
+        count: usize,
+        region_base: PageNum,
+        out: &mut Vec<MemAccess>,
+    ) {
+        assert!(self.pages > 0, "footprint pool must be non-empty");
+        assert!(
+            self.footprint_blocks > 0 && self.footprint_blocks <= BLOCKS_PER_PAGE,
+            "footprint_blocks out of range"
+        );
+        assert!(self.page_spread > 0, "page_spread must be positive");
+        let mut rng = rng_for(seed, 0x0F00);
+        // Per-page stable snapshots.
+        let mut snapshots: Vec<Bitmap64> = (0..self.pages)
+            .map(|_| random_footprint(&mut rng, self.footprint_blocks))
+            .collect();
+
+        let mut clock = Cycle::ZERO;
+        let mut emitted = 0usize;
+        let mut order: Vec<usize> = (0..self.pages).collect();
+        'outer: loop {
+            // A round visits every page once, in fresh random order: the
+            // reuse distance of a snapshot is the whole pool, i.e. long.
+            order.shuffle(&mut rng);
+            for &pi in &order {
+                if emitted >= count {
+                    break 'outer;
+                }
+                // Occasional drift keeps the snapshot's overlap below 100%.
+                if rng.gen_bool(self.mutation_prob.clamp(0.0, 1.0)) {
+                    mutate_footprint(&mut rng, &mut snapshots[pi], self.mutation_bits);
+                }
+                let page = PageNum::new(region_base.as_u64() + pi as u64 * self.page_spread);
+                let mut blocks: Vec<usize> = snapshots[pi].iter_set().collect();
+                blocks.shuffle(&mut rng); // non-deterministic intra-visit order
+                for b in blocks {
+                    let addr = PhysAddr::from_parts(page, BlockIndex::new(b));
+                    emit(out, &mut rng, &self.envelope, addr, &mut clock, self.intra_gap);
+                    emitted += 1;
+                    if emitted >= count {
+                        break 'outer;
+                    }
+                }
+                clock += sample_gap(&mut rng, self.inter_gap);
+            }
+        }
+    }
+}
+
+/// Draws `blocks` distinct block indices as a bitmap.
+fn random_footprint(rng: &mut rand::rngs::StdRng, blocks: usize) -> Bitmap64 {
+    let mut idx: Vec<usize> = (0..BLOCKS_PER_PAGE).collect();
+    idx.shuffle(rng);
+    idx.into_iter().take(blocks).collect()
+}
+
+/// Swaps up to `bits` set blocks for unset ones, preserving footprint size.
+fn mutate_footprint(rng: &mut rand::rngs::StdRng, fp: &mut Bitmap64, bits: usize) {
+    for _ in 0..bits {
+        let set: Vec<usize> = fp.iter_set().collect();
+        if set.is_empty() || set.len() == BLOCKS_PER_PAGE {
+            return;
+        }
+        let unset: Vec<usize> = (0..BLOCKS_PER_PAGE).filter(|&i| !fp.get(i)).collect();
+        let drop = set[rng.gen_range(0..set.len())];
+        let add = unset[rng.gen_range(0..unset.len())];
+        fp.clear(drop);
+        fp.set(add);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn gen(spec: &FootprintSpec, count: usize) -> Vec<MemAccess> {
+        let mut out = Vec::new();
+        spec.generate(99, count, PageNum::new(1 << 24), &mut out);
+        out
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let out = gen(&FootprintSpec::default(), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn addresses_stay_in_region_and_pool() {
+        let spec = FootprintSpec { pages: 8, ..FootprintSpec::default() };
+        let out = gen(&spec, 500);
+        for a in &out {
+            let p = a.addr.page().as_u64();
+            assert!((1 << 24..(1 << 24) + 8).contains(&p), "page {p} outside pool");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_stable_without_mutation() {
+        let spec = FootprintSpec {
+            pages: 4,
+            mutation_prob: 0.0,
+            footprint_blocks: 8,
+            ..FootprintSpec::default()
+        };
+        let out = gen(&spec, 4 * 8 * 5); // five full rounds
+        // Each page's set of blocks must be identical across visits.
+        let mut per_page: HashMap<u64, Bitmap64> = HashMap::new();
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for a in &out {
+            let p = a.addr.page().as_u64();
+            per_page
+                .entry(p)
+                .or_insert(Bitmap64::EMPTY)
+                .set(a.addr.block_index().as_usize());
+            *counts.entry(p).or_default() += 1;
+        }
+        for (p, bm) in per_page {
+            // With zero mutation, total distinct blocks == footprint size.
+            assert_eq!(bm.count(), 8, "page {p} drifted");
+            assert!(counts[&p] >= 8, "page {p} was not revisited");
+        }
+    }
+
+    #[test]
+    fn mutation_changes_snapshot_but_keeps_size() {
+        let mut rng = rng_for(1, 2);
+        let mut fp = random_footprint(&mut rng, 16);
+        let before = fp;
+        mutate_footprint(&mut rng, &mut fp, 2);
+        assert_eq!(fp.count(), 16);
+        assert!(before.hamming_distance(fp) > 0);
+        assert!(before.hamming_distance(fp) <= 4); // 2 swaps => at most 4 bits
+    }
+
+    #[test]
+    fn expected_overlap_formula() {
+        let spec = FootprintSpec {
+            footprint_blocks: 16,
+            mutation_prob: 0.5,
+            mutation_bits: 2,
+            ..FootprintSpec::default()
+        };
+        assert!((spec.expected_overlap() - 0.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_are_monotonic() {
+        let out = gen(&FootprintSpec::default(), 300);
+        assert!(out.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_pool() {
+        let spec = FootprintSpec { pages: 0, ..FootprintSpec::default() };
+        let _ = gen(&spec, 10);
+    }
+}

@@ -1,0 +1,280 @@
+//! Synthetic workload synthesis.
+//!
+//! A [`WorkloadSpec`] describes a workload as a weighted mixture of traffic
+//! *components*, each modelling one traffic class the paper's system cache
+//! observes:
+//!
+//! * [`FootprintSpec`] — revisited pages with stable footprint snapshots
+//!   (Observation 1; the regularity SLP exploits).
+//! * [`NeighborSpec`] — clusters of address-adjacent pages with similar
+//!   footprints, touched (mostly) once (Observation 2; what TLP exploits).
+//! * [`StreamSpec`] — sequential block streaming (GPU framebuffer/texture
+//!   scans; what next-line/BOP-style prefetchers exploit).
+//! * [`StrideSpec`] — constant-stride runs (DMA engines; BOP's home turf).
+//! * [`RandomSpec`] — irregular pointer-chase-like traffic that no
+//!   memory-side prefetcher can predict (it punishes aggressive ones).
+//!
+//! All generation is deterministic for a given spec (seeded `StdRng`s), so
+//! every figure in the repository regenerates bit-identically.
+
+mod footprint;
+mod neighbor;
+mod simple;
+
+pub use footprint::FootprintSpec;
+pub use neighbor::NeighborSpec;
+pub use simple::{RandomSpec, StrideSpec, StreamSpec};
+
+use planaria_common::{AccessKind, Cycle, DeviceId, MemAccess, PageNum};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Trace;
+
+/// Pages reserved per component region so components never alias.
+const REGION_PAGES: u64 = 1 << 24;
+
+/// One traffic class with its parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ComponentSpec {
+    /// Stable revisited intra-page footprints (SLP-friendly).
+    Footprint(FootprintSpec),
+    /// Clusters of similar neighbouring pages (TLP-friendly).
+    Neighbor(NeighborSpec),
+    /// Sequential streaming.
+    Stream(StreamSpec),
+    /// Constant-stride runs.
+    Stride(StrideSpec),
+    /// Irregular traffic.
+    Random(RandomSpec),
+}
+
+impl ComponentSpec {
+    fn generate(&self, seed: u64, count: usize, region_base: PageNum, out: &mut Vec<MemAccess>) {
+        match self {
+            ComponentSpec::Footprint(s) => s.generate(seed, count, region_base, out),
+            ComponentSpec::Neighbor(s) => s.generate(seed, count, region_base, out),
+            ComponentSpec::Stream(s) => s.generate(seed, count, region_base, out),
+            ComponentSpec::Stride(s) => s.generate(seed, count, region_base, out),
+            ComponentSpec::Random(s) => s.generate(seed, count, region_base, out),
+        }
+    }
+}
+
+/// A component together with its share of the workload's accesses.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WeightedComponent {
+    /// Relative weight (normalised over the spec's components).
+    pub weight: f64,
+    /// The traffic class.
+    pub spec: ComponentSpec,
+}
+
+/// A deterministic description of a synthetic workload.
+///
+/// # Examples
+///
+/// ```
+/// use planaria_trace::{ComponentSpec, WeightedComponent, WorkloadSpec};
+/// use planaria_trace::synth::FootprintSpec;
+///
+/// let spec = WorkloadSpec::new("demo", "demo", 42, 5_000)
+///     .with(1.0, ComponentSpec::Footprint(FootprintSpec::default()));
+/// let trace = spec.build();
+/// assert_eq!(trace.len(), 5_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WorkloadSpec {
+    /// Full workload name (e.g. "Honor of Kings").
+    pub name: String,
+    /// Short label used in figures (e.g. "HoK").
+    pub abbr: String,
+    /// Master seed; all component RNGs derive from it.
+    pub seed: u64,
+    /// Number of accesses to synthesise.
+    pub length: usize,
+    /// The weighted traffic mix.
+    pub components: Vec<WeightedComponent>,
+}
+
+impl WorkloadSpec {
+    /// Creates an empty spec; add components with [`WorkloadSpec::with`].
+    pub fn new(name: impl Into<String>, abbr: impl Into<String>, seed: u64, length: usize) -> Self {
+        Self {
+            name: name.into(),
+            abbr: abbr.into(),
+            seed,
+            length,
+            components: Vec::new(),
+        }
+    }
+
+    /// Adds a weighted component (builder style).
+    #[must_use]
+    pub fn with(mut self, weight: f64, spec: ComponentSpec) -> Self {
+        assert!(weight > 0.0, "component weight must be positive");
+        self.components.push(WeightedComponent { weight, spec });
+        self
+    }
+
+    /// Returns a copy with a different target length.
+    #[must_use]
+    pub fn scaled(mut self, length: usize) -> Self {
+        self.length = length;
+        self
+    }
+
+    /// Renders the spec into a trace.
+    ///
+    /// Each component generates its share of accesses in a private address
+    /// region on its own timeline; the mixer then merges all events in
+    /// arrival order and truncates to the requested length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no components.
+    pub fn build(&self) -> Trace {
+        assert!(!self.components.is_empty(), "workload spec has no components");
+        let total_weight: f64 = self.components.iter().map(|c| c.weight).sum();
+        let mut events = Vec::with_capacity(self.length + self.length / 8);
+        for (i, wc) in self.components.iter().enumerate() {
+            // Overshoot each component slightly so truncation to `length`
+            // after merging never under-fills the trace.
+            let share = (wc.weight / total_weight * self.length as f64).ceil() as usize + 16;
+            let seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+            let region_base = PageNum::new((i as u64 + 1) * REGION_PAGES);
+            wc.spec.generate(seed, share, region_base, &mut events);
+        }
+        events.sort_by_key(|a| a.cycle);
+        events.truncate(self.length);
+        Trace::new(self.abbr.clone(), events)
+    }
+}
+
+/// Shared per-access envelope: device, read ratio and timing gaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Envelope {
+    /// Issuing device recorded in the trace.
+    pub device: DeviceId,
+    /// Probability that an access is a read.
+    pub read_ratio: f64,
+}
+
+impl Default for Envelope {
+    fn default() -> Self {
+        Self { device: DeviceId::Cpu(0), read_ratio: 0.8 }
+    }
+}
+
+impl Envelope {
+    pub(crate) fn kind(&self, rng: &mut StdRng) -> AccessKind {
+        if rng.gen_bool(self.read_ratio.clamp(0.0, 1.0)) {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        }
+    }
+}
+
+/// Samples a gap uniformly in `[mean/2, 3*mean/2]`, at least 1 cycle.
+pub(crate) fn sample_gap(rng: &mut StdRng, mean: u64) -> u64 {
+    let mean = mean.max(1);
+    let lo = (mean / 2).max(1);
+    let hi = mean + mean / 2;
+    rng.gen_range(lo..=hi.max(lo))
+}
+
+pub(crate) fn rng_for(seed: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+}
+
+/// Emits one access and advances the component clock.
+pub(crate) fn emit(
+    out: &mut Vec<MemAccess>,
+    rng: &mut StdRng,
+    env: &Envelope,
+    addr: planaria_common::PhysAddr,
+    clock: &mut Cycle,
+    mean_gap: u64,
+) {
+    out.push(MemAccess::new(addr, env.kind(rng), env.device, *clock));
+    *clock += sample_gap(rng, mean_gap);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec::new("test", "t", 7, 2_000)
+            .with(2.0, ComponentSpec::Footprint(FootprintSpec::default()))
+            .with(1.0, ComponentSpec::Stream(StreamSpec::default()))
+            .with(0.5, ComponentSpec::Random(RandomSpec::default()))
+    }
+
+    #[test]
+    fn build_produces_exact_length() {
+        let t = small_spec().build();
+        assert_eq!(t.len(), 2_000);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = small_spec().build();
+        let b = small_spec().build();
+        assert_eq!(a.accesses(), b.accesses());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_spec().build();
+        let mut spec = small_spec();
+        spec.seed = 8;
+        let b = spec.build();
+        assert_ne!(a.accesses(), b.accesses());
+    }
+
+    #[test]
+    fn components_use_disjoint_regions() {
+        let t = small_spec().build();
+        // Every page must fall in exactly one component region.
+        for a in t.iter() {
+            let region = a.addr.page().as_u64() / REGION_PAGES;
+            assert!((1..=3).contains(&region), "page in unexpected region {region}");
+        }
+    }
+
+    #[test]
+    fn accesses_sorted_by_cycle() {
+        let t = small_spec().build();
+        assert!(t.accesses().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    }
+
+    #[test]
+    #[should_panic(expected = "no components")]
+    fn build_rejects_empty_spec() {
+        let _ = WorkloadSpec::new("x", "x", 1, 10).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn with_rejects_zero_weight() {
+        let _ = WorkloadSpec::new("x", "x", 1, 10)
+            .with(0.0, ComponentSpec::Random(RandomSpec::default()));
+    }
+
+    #[test]
+    fn sample_gap_within_bounds() {
+        let mut rng = rng_for(1, 2);
+        for mean in [1u64, 2, 10, 1000] {
+            for _ in 0..100 {
+                let g = sample_gap(&mut rng, mean);
+                assert!(g >= 1 && g <= mean + mean / 2 + 1, "gap {g} for mean {mean}");
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Contrast two game workloads from the paper's Table 2: Honkai Impact 3
+//! (stable revisited footprints — SLP territory) versus Fortnite (one-shot
+//! neighbouring pages — TLP territory), across the full prefetcher field.
+//!
+//! This reproduces the Figure 9 story at example scale: on HI3, SLP does
+//! almost all the work; on Fort, TLP carries the improvement.
+//!
+//! ```sh
+//! cargo run --release --example gaming_workload
+//! ```
+
+use planaria_sim::experiment::{run_app_suite, PrefetcherKind};
+use planaria_sim::table::{pct0, TextTable};
+use planaria_trace::apps::AppId;
+
+fn main() {
+    let kinds = [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Bop,
+        PrefetcherKind::Spp,
+        PrefetcherKind::SlpOnly,
+        PrefetcherKind::TlpOnly,
+        PrefetcherKind::Planaria,
+    ];
+    let length = 200_000;
+
+    for app in [AppId::Hi3, AppId::Fort] {
+        println!("=== {} ({}) — {length} accesses ===", app.name(), app.abbr());
+        let results = run_app_suite(app, &kinds, length);
+        let none_amat = results[0].amat_cycles;
+        let mut t =
+            TextTable::new(["prefetcher", "hit rate", "AMAT", "vs none", "accuracy", "traffic"]);
+        for r in &results {
+            t.row([
+                r.prefetcher.clone(),
+                pct0(r.hit_rate),
+                format!("{:.1}", r.amat_cycles),
+                format!("{:+.1}%", (r.amat_cycles / none_amat - 1.0) * 100.0),
+                pct0(r.prefetch_accuracy),
+                r.traffic.total().to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+
+        let planaria = results.last().expect("planaria row");
+        let total_useful = (planaria.useful_slp + planaria.useful_tlp).max(1);
+        println!(
+            "Planaria usefulness split: SLP {:.0}%, TLP {:.0}%  (the paper's Figure 9 \
+             contrast: HI3 is SLP-dominated, Fort is TLP-dominated)\n",
+            planaria.useful_slp as f64 / total_useful as f64 * 100.0,
+            planaria.useful_tlp as f64 / total_useful as f64 * 100.0,
+        );
+    }
+}

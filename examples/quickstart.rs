@@ -1,0 +1,74 @@
+//! Quickstart: simulate one mobile app's memory trace with and without
+//! Planaria and compare the headline metrics.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use planaria_sim::experiment::{run_app_suite, PrefetcherKind};
+use planaria_sim::ipc;
+use planaria_sim::table::{pct, pct0, TextTable};
+use planaria_trace::apps::AppId;
+
+fn main() {
+    let app = AppId::HoK;
+    let length = 300_000;
+    println!(
+        "Simulating a scaled {} trace ({length} accesses) on the Table 1 system...\n",
+        app.name()
+    );
+
+    let kinds = [PrefetcherKind::None, PrefetcherKind::Planaria];
+    let results = run_app_suite(app, &kinds, length);
+    let (none, planaria) = (&results[0], &results[1]);
+
+    let mut t = TextTable::new(["metric", "no prefetcher", "Planaria", "delta"]);
+    t.row([
+        "SC hit rate".to_string(),
+        pct0(none.hit_rate),
+        pct0(planaria.hit_rate),
+        pct(planaria.hit_rate - none.hit_rate),
+    ]);
+    t.row([
+        "AMAT (cycles)".to_string(),
+        format!("{:.1}", none.amat_cycles),
+        format!("{:.1}", planaria.amat_cycles),
+        pct(planaria.amat_delta(none)),
+    ]);
+    t.row([
+        "IPC (relative)".to_string(),
+        "1.000".to_string(),
+        format!(
+            "{:.3}",
+            ipc::relative_ipc(planaria.amat_cycles, none.amat_cycles, app.mem_intensity())
+        ),
+        pct(ipc::ipc_improvement(planaria.amat_cycles, none.amat_cycles, app.mem_intensity())),
+    ]);
+    t.row([
+        "DRAM traffic (reqs)".to_string(),
+        none.traffic.total().to_string(),
+        planaria.traffic.total().to_string(),
+        pct(planaria.traffic_delta(none)),
+    ]);
+    t.row([
+        "memory power (mW)".to_string(),
+        format!("{:.1}", none.power_mw),
+        format!("{:.1}", planaria.power_mw),
+        pct(planaria.power_delta(none)),
+    ]);
+    println!("{}", t.render());
+
+    println!(
+        "Planaria prefetches: {} issued, {} useful (accuracy {}, coverage {}),\n\
+         split SLP {} / TLP {}, metadata {:.1} KB.",
+        planaria.traffic.prefetch_reads,
+        planaria.useful_prefetches,
+        pct0(planaria.prefetch_accuracy),
+        pct0(planaria.prefetch_coverage),
+        planaria.useful_slp,
+        planaria.useful_tlp,
+        planaria.storage_bits as f64 / 8.0 / 1024.0,
+    );
+}

@@ -1,0 +1,42 @@
+//! Determinism: identical configurations must produce bit-identical
+//! results — the property that makes every figure in this repository
+//! regenerable.
+
+use planaria_sim::experiment::{run_app, PrefetcherKind};
+use planaria_trace::apps::{profile, AppId};
+
+#[test]
+fn trace_generation_is_deterministic() {
+    let a = profile(AppId::TikT).scaled(30_000).build();
+    let b = profile(AppId::TikT).scaled(30_000).build();
+    assert_eq!(a.accesses(), b.accesses());
+}
+
+#[test]
+fn full_simulation_is_deterministic() {
+    for kind in [PrefetcherKind::Planaria, PrefetcherKind::Bop, PrefetcherKind::Spp] {
+        let r1 = run_app(AppId::Fort, kind, 25_000);
+        let r2 = run_app(AppId::Fort, kind, 25_000);
+        assert_eq!(r1, r2, "{kind} run diverged");
+    }
+}
+
+#[test]
+fn scaling_controls_length_and_extends_coverage() {
+    // (Exact prefix preservation does not hold: the per-component shares
+    // change with the target length, so the merge boundary shifts.)
+    let short = profile(AppId::Cfm).scaled(10_000).build();
+    let long = profile(AppId::Cfm).scaled(20_000).build();
+    assert_eq!(short.len(), 10_000);
+    assert_eq!(long.len(), 20_000);
+    assert!(long.unique_pages() >= short.unique_pages());
+    assert!(long.duration() >= short.duration());
+}
+
+#[test]
+fn distinct_seeds_change_results() {
+    let base = profile(AppId::Cfm).scaled(10_000);
+    let mut reseeded = base.clone();
+    reseeded.seed ^= 0xDEAD_BEEF;
+    assert_ne!(base.build().accesses(), reseeded.build().accesses());
+}

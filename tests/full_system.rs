@@ -1,0 +1,132 @@
+//! End-to-end tests of the full memory system: trace → SC → prefetcher →
+//! LPDDR4, checking the paper's qualitative claims on small scaled runs.
+
+use planaria_sim::experiment::{run_app_suite, run_trace, PrefetcherKind};
+use planaria_trace::apps::AppId;
+use planaria_trace::synth::{FootprintSpec, NeighborSpec};
+use planaria_trace::{ComponentSpec, WorkloadSpec};
+
+const LEN: usize = 320_000;
+
+/// A footprint pool whose working set (~6 MB) exceeds the 4 MB SC — the
+/// paper's regime: revisits miss under LRU, and only a pattern prefetcher
+/// can convert them back into hits.
+fn big_pool() -> FootprintSpec {
+    FootprintSpec { pages: 6144, ..FootprintSpec::default() }
+}
+
+#[test]
+fn planaria_beats_no_prefetcher_on_footprint_traffic() {
+    let spec = WorkloadSpec::new("fp", "fp", 3, LEN)
+        .with(1.0, ComponentSpec::Footprint(big_pool()));
+    let trace = spec.build();
+    let none = run_trace(&trace, PrefetcherKind::None);
+    let planaria = run_trace(&trace, PrefetcherKind::Planaria);
+    assert!(
+        planaria.hit_rate > none.hit_rate + 0.15,
+        "hit rate: planaria {:.3} vs none {:.3}",
+        planaria.hit_rate,
+        none.hit_rate
+    );
+    assert!(
+        planaria.amat_cycles < none.amat_cycles * 0.9,
+        "amat: planaria {:.1} vs none {:.1}",
+        planaria.amat_cycles,
+        none.amat_cycles
+    );
+    assert!(
+        planaria.prefetch_accuracy > 0.6,
+        "accuracy {:.3}",
+        planaria.prefetch_accuracy
+    );
+}
+
+#[test]
+fn slp_dominates_on_revisited_footprints() {
+    let spec = WorkloadSpec::new("fp", "fp", 3, LEN)
+        .with(1.0, ComponentSpec::Footprint(big_pool()));
+    let trace = spec.build();
+    let planaria = run_trace(&trace, PrefetcherKind::Planaria);
+    assert!(
+        planaria.useful_slp > 5 * planaria.useful_tlp.max(1),
+        "SLP {} vs TLP {} useful prefetches",
+        planaria.useful_slp,
+        planaria.useful_tlp
+    );
+}
+
+#[test]
+fn tlp_dominates_on_one_shot_neighbour_clusters() {
+    let spec = WorkloadSpec::new("nb", "nb", 3, LEN)
+        .with(1.0, ComponentSpec::Neighbor(NeighborSpec::default()));
+    let trace = spec.build();
+    let planaria = run_trace(&trace, PrefetcherKind::Planaria);
+    assert!(
+        planaria.useful_tlp > 5 * planaria.useful_slp.max(1),
+        "TLP {} vs SLP {} useful prefetches",
+        planaria.useful_tlp,
+        planaria.useful_slp
+    );
+    let none = run_trace(&trace, PrefetcherKind::None);
+    assert!(planaria.hit_rate > none.hit_rate, "TLP must add hits");
+}
+
+#[test]
+fn figure_set_runs_on_a_real_app_profile() {
+    let results = run_app_suite(AppId::HoK, &PrefetcherKind::FIGURE_SET, LEN);
+    assert_eq!(results.len(), 4);
+    let (none, bop, spp, planaria) = (&results[0], &results[1], &results[2], &results[3]);
+    // Qualitative ordering of the paper's Figures 7/8 on the HoK profile:
+    // Planaria clearly ahead of no-prefetcher in both hit rate and AMAT.
+    assert!(planaria.hit_rate > none.hit_rate);
+    assert!(planaria.amat_cycles < none.amat_cycles);
+    // Planaria ahead of both delta baselines on AMAT.
+    assert!(planaria.amat_cycles < bop.amat_cycles);
+    assert!(planaria.amat_cycles < spp.amat_cycles);
+    // Traffic: Planaria's overhead stays small; BOP's is larger.
+    let planaria_traffic = planaria.traffic_delta(none);
+    let bop_traffic = bop.traffic_delta(none);
+    assert!(
+        planaria_traffic < bop_traffic,
+        "planaria traffic {planaria_traffic:+.3} must undercut BOP {bop_traffic:+.3}"
+    );
+}
+
+#[test]
+fn power_tracks_traffic() {
+    let results = run_app_suite(AppId::Pm, &PrefetcherKind::FIGURE_SET, LEN);
+    let (none, bop, _spp, planaria) = (&results[0], &results[1], &results[2], &results[3]);
+    let planaria_power = planaria.power_delta(none);
+    let bop_power = bop.power_delta(none);
+    assert!(
+        planaria_power < bop_power,
+        "planaria power {planaria_power:+.3} must undercut BOP {bop_power:+.3}"
+    );
+}
+
+#[test]
+fn accounting_invariants_hold_across_prefetchers() {
+    for kind in [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Bop,
+        PrefetcherKind::Spp,
+        PrefetcherKind::Planaria,
+    ] {
+        let r = planaria_sim::experiment::run_app(AppId::Cfm, kind, 20_000);
+        assert_eq!(r.accesses, 20_000, "{kind}");
+        assert!(r.hit_rate >= 0.0 && r.hit_rate <= 1.0, "{kind}");
+        assert!(r.prefetch_accuracy >= 0.0 && r.prefetch_accuracy <= 1.0, "{kind}");
+        assert!(
+            r.useful_prefetches <= r.traffic.prefetch_reads,
+            "{kind}: useful {} > issued {}",
+            r.useful_prefetches,
+            r.traffic.prefetch_reads
+        );
+        assert!(r.amat_cycles >= 30.0, "{kind}: AMAT below the SC hit latency");
+        assert!(r.total_energy_pj > 0.0, "{kind}");
+        assert!(r.duration_cycles > 0, "{kind}");
+        // Demand reads can never exceed demand misses.
+        assert!(r.traffic.demand_reads <= r.accesses, "{kind}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Regression guard: key metrics of the reproduction must stay inside the
+//! bands established in EXPERIMENTS.md. Bands (not exact values) are used
+//! so that legitimate parameter tuning doesn't trip the test, but a
+//! behavioural regression — Planaria losing its edge, BOP going quiet,
+//! power accounting drifting — does.
+//!
+//! The runs use 400 k-access traces (shape-stable and fast); the bands are
+//! correspondingly wider than the 1 M-access EXPERIMENTS.md numbers.
+
+use planaria_sim::experiment::{mean, run_app_suite, PrefetcherKind};
+use planaria_trace::apps::AppId;
+
+const LEN: usize = 400_000;
+/// A representative app triple: SLP-led, mixed, TLP-led.
+const APPS: [AppId; 3] = [AppId::Cfm, AppId::HoK, AppId::Fort];
+
+struct Deltas {
+    amat_vs_none: Vec<f64>,
+    bop_traffic: Vec<f64>,
+    planaria_traffic: Vec<f64>,
+    bop_power: Vec<f64>,
+    planaria_power: Vec<f64>,
+    planaria_accuracy: Vec<f64>,
+}
+
+fn collect() -> Deltas {
+    let mut d = Deltas {
+        amat_vs_none: Vec::new(),
+        bop_traffic: Vec::new(),
+        planaria_traffic: Vec::new(),
+        bop_power: Vec::new(),
+        planaria_power: Vec::new(),
+        planaria_accuracy: Vec::new(),
+    };
+    for app in APPS {
+        let rs = run_app_suite(app, &PrefetcherKind::FIGURE_SET, LEN);
+        let (none, bop, _spp, planaria) = (&rs[0], &rs[1], &rs[2], &rs[3]);
+        d.amat_vs_none.push(planaria.amat_delta(none));
+        d.bop_traffic.push(bop.traffic_delta(none));
+        d.planaria_traffic.push(planaria.traffic_delta(none));
+        d.bop_power.push(bop.power_delta(none));
+        d.planaria_power.push(planaria.power_delta(none));
+        d.planaria_accuracy.push(planaria.prefetch_accuracy);
+    }
+    d
+}
+
+#[test]
+fn headline_shapes_hold() {
+    let d = collect();
+    let amat = mean(d.amat_vs_none.iter().copied());
+    assert!(
+        (-0.35..=-0.08).contains(&amat),
+        "Planaria AMAT delta drifted out of band: {amat:+.3} (expect ≈ -0.2)"
+    );
+
+    let planaria_traffic = mean(d.planaria_traffic.iter().copied());
+    assert!(
+        planaria_traffic < 0.10,
+        "Planaria traffic overhead {planaria_traffic:+.3} should stay small"
+    );
+    let bop_traffic = mean(d.bop_traffic.iter().copied());
+    assert!(
+        bop_traffic > 0.15,
+        "BOP traffic overhead {bop_traffic:+.3} suspiciously small — throttle broken?"
+    );
+    assert!(
+        bop_traffic > 3.0 * planaria_traffic.max(0.01),
+        "BOP ({bop_traffic:+.3}) must dwarf Planaria ({planaria_traffic:+.3}) in traffic"
+    );
+
+    let planaria_power = mean(d.planaria_power.iter().copied());
+    assert!(
+        planaria_power.abs() < 0.05,
+        "Planaria power overhead {planaria_power:+.3} must stay near zero"
+    );
+    let bop_power = mean(d.bop_power.iter().copied());
+    assert!(
+        bop_power > 0.08,
+        "BOP power overhead {bop_power:+.3} lost its penalty"
+    );
+
+    let acc = mean(d.planaria_accuracy.iter().copied());
+    assert!(acc > 0.75, "Planaria accuracy {acc:.3} fell below its design point");
+}
+
+#[test]
+fn storage_stays_at_paper_budget() {
+    use planaria_core::{storage, PlanariaConfig};
+    let kb = storage::planaria_kilobytes(&PlanariaConfig::default());
+    assert!((kb - 345.2).abs() < 2.0, "storage {kb:.1} KB drifted from 345.2 KB");
+}
+
+#[test]
+fn fort_stays_tlp_dominated_and_hi3_slp_dominated() {
+    for (app, slp_dominates) in [(AppId::Fort, false), (AppId::Hi3, true)] {
+        let rs = run_app_suite(app, &[PrefetcherKind::Planaria], LEN);
+        let r = &rs[0];
+        let total = (r.useful_slp + r.useful_tlp).max(1);
+        let slp_share = r.useful_slp as f64 / total as f64;
+        if slp_dominates {
+            assert!(slp_share > 0.6, "{:?}: SLP share {slp_share:.2} too low", app);
+        } else {
+            assert!(slp_share < 0.4, "{:?}: SLP share {slp_share:.2} too high", app);
+        }
+    }
+}

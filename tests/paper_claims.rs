@@ -1,0 +1,87 @@
+//! The paper's *motivation* claims, asserted on the synthetic workloads:
+//! these are the statistical properties the whole design rests on, so they
+//! are pinned as tests rather than only printed by the figure harnesses.
+
+use planaria_analysis::{learnable_fraction, overlap_rate, reuse_histogram};
+use planaria_trace::apps::{profile, AppId};
+
+const LEN: usize = 150_000;
+
+#[test]
+fn observation1_footprint_overlap_exceeds_80_percent() {
+    // Figure 4's claim, on the footprint-heavy apps (the methodology needs
+    // at least two windows per page, i.e. a few revisit rounds — the
+    // full-length harness covers all ten apps).
+    for app in [AppId::Cfm, AppId::Hi3, AppId::Qsm] {
+        let trace = profile(app).scaled(400_000).build();
+        let r = overlap_rate(&trace);
+        assert!(
+            r.mean_overlap > 0.80,
+            "{}: overlap {:.3} below the paper's 80% floor",
+            app.abbr(),
+            r.mean_overlap
+        );
+        assert!(r.window_pairs > 100, "{}: too few windows measured", app.abbr());
+    }
+}
+
+#[test]
+fn observation1_reuse_distances_are_long() {
+    // "The reuse distance of the snapshots is usually long": the median
+    // block reuse distance dwarfs any plausible cache capacity.
+    for app in [AppId::Cfm, AppId::HoK] {
+        let trace = profile(app).scaled(LEN).build();
+        let r = reuse_histogram(&trace);
+        let median = r.median_distance().expect("apps revisit blocks");
+        assert!(
+            median >= 4096,
+            "{}: median reuse distance {median} too short for the SC story",
+            app.abbr()
+        );
+    }
+}
+
+#[test]
+fn observation2_learnable_fraction_grows_with_distance() {
+    // Figure 5's claim: a meaningful fraction of pages is learnable, and
+    // the fraction grows monotonically with the distance threshold.
+    for app in [AppId::HoK, AppId::Fort] {
+        let trace = profile(app).scaled(LEN).build();
+        let f4 = learnable_fraction(&trace, 4).learnable_fraction;
+        let f16 = learnable_fraction(&trace, 16).learnable_fraction;
+        let f64_ = learnable_fraction(&trace, 64).learnable_fraction;
+        assert!(
+            f4 <= f16 && f16 <= f64_,
+            "{}: fractions not monotone: {f4:.3} {f16:.3} {f64_:.3}",
+            app.abbr()
+        );
+        assert!(f64_ > 0.05, "{}: learnable fraction {f64_:.3} vanishingly small", app.abbr());
+        assert!(f64_ < 0.95, "{}: learnable fraction {f64_:.3} implausibly universal", app.abbr());
+    }
+}
+
+#[test]
+fn fort_has_the_highest_neighbour_fraction() {
+    // Fort's TLP dominance (Figure 9) is rooted in its trace: it must be
+    // the most neighbour-rich app.
+    let fort = learnable_fraction(&profile(AppId::Fort).scaled(LEN).build(), 64)
+        .learnable_fraction;
+    for app in [AppId::Cfm, AppId::Hi3, AppId::Nba2] {
+        let other =
+            learnable_fraction(&profile(app).scaled(LEN).build(), 64).learnable_fraction;
+        assert!(
+            fort > other,
+            "Fort ({fort:.3}) must out-neighbour {} ({other:.3})",
+            app.abbr()
+        );
+    }
+}
+
+#[test]
+fn stability_knob_orders_the_apps() {
+    // HI3 (mutation 0.25) must show higher overlap than TikT (0.8): the
+    // per-app Figure 4 levels are a controlled input, not an accident.
+    let hi3 = overlap_rate(&profile(AppId::Hi3).scaled(LEN).build()).mean_overlap;
+    let tikt = overlap_rate(&profile(AppId::TikT).scaled(LEN).build()).mean_overlap;
+    assert!(hi3 > tikt, "HI3 {hi3:.3} must exceed TikT {tikt:.3}");
+}

@@ -1,0 +1,104 @@
+//! Property tests over randomly drawn workload specs: whatever the mix,
+//! the generator and the full simulator must uphold their invariants.
+
+use planaria_sim::experiment::{run_trace, PrefetcherKind};
+use planaria_trace::synth::{FootprintSpec, NeighborSpec, RandomSpec, StrideSpec, StreamSpec};
+use planaria_trace::{ComponentSpec, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_component() -> impl Strategy<Value = ComponentSpec> {
+    prop_oneof![
+        (4usize..64, 4usize..32, 0.0f64..1.0, 1usize..4).prop_map(
+            |(pages, blocks, mutation_prob, mutation_bits)| {
+                ComponentSpec::Footprint(FootprintSpec {
+                    pages,
+                    footprint_blocks: blocks,
+                    mutation_prob,
+                    mutation_bits,
+                    ..FootprintSpec::default()
+                })
+            }
+        ),
+        (1usize..32, 4usize..32, 0usize..3, 1usize..3).prop_map(
+            |(span, blocks, noise, revisits)| {
+                ComponentSpec::Neighbor(NeighborSpec {
+                    cluster_span: span,
+                    footprint_blocks: blocks,
+                    noise_bits: noise,
+                    revisits,
+                    ..NeighborSpec::default()
+                })
+            }
+        ),
+        (8usize..512).prop_map(|run| {
+            ComponentSpec::Stream(StreamSpec { run_blocks: run, ..StreamSpec::default() })
+        }),
+        (1usize..16, 8usize..128).prop_map(|(stride, len)| {
+            ComponentSpec::Stride(StrideSpec {
+                stride_blocks: stride,
+                run_len: len,
+                ..StrideSpec::default()
+            })
+        }),
+        (16usize..4096).prop_map(|pages| {
+            ComponentSpec::Random(RandomSpec { pages, ..RandomSpec::default() })
+        }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        proptest::collection::vec((0.05f64..1.0, arb_component()), 1..4),
+        any::<u64>(),
+        2_000usize..8_000,
+    )
+        .prop_map(|(comps, seed, len)| {
+            let mut spec = WorkloadSpec::new("prop", "prop", seed, len);
+            for (w, c) in comps {
+                spec = spec.with(w, c);
+            }
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_traces_are_well_formed(spec in arb_spec()) {
+        let trace = spec.build();
+        prop_assert_eq!(trace.len(), spec.length);
+        // Sorted by cycle.
+        prop_assert!(trace.accesses().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        // Deterministic.
+        let rebuilt = spec.build();
+        prop_assert_eq!(trace.accesses(), rebuilt.accesses());
+    }
+
+    #[test]
+    fn simulator_invariants_hold_on_any_mix(spec in arb_spec()) {
+        let trace = spec.build();
+        for kind in [PrefetcherKind::None, PrefetcherKind::Planaria, PrefetcherKind::Bop] {
+            let r = run_trace(&trace, kind);
+            prop_assert_eq!(r.accesses, trace.len() as u64);
+            prop_assert!(r.hit_rate >= 0.0 && r.hit_rate <= 1.0);
+            prop_assert!(r.prefetch_accuracy >= 0.0 && r.prefetch_accuracy <= 1.0);
+            prop_assert!(r.prefetch_coverage >= 0.0 && r.prefetch_coverage <= 1.0);
+            prop_assert!(r.useful_prefetches <= r.traffic.prefetch_reads);
+            prop_assert!(r.traffic.demand_reads <= r.accesses);
+            if !trace.is_empty() {
+                prop_assert!(r.amat_cycles >= 30.0 - 1e-9, "{}", r.amat_cycles);
+            }
+            prop_assert!(r.total_energy_pj >= 0.0);
+        }
+    }
+
+    #[test]
+    fn no_prefetcher_never_adds_traffic(spec in arb_spec()) {
+        let trace = spec.build();
+        let r = run_trace(&trace, PrefetcherKind::None);
+        prop_assert_eq!(r.traffic.prefetch_reads, 0);
+        prop_assert_eq!(r.useful_prefetches, 0);
+        prop_assert_eq!(r.polluting_prefetches, 0);
+    }
+}
