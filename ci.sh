@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Local CI gate: everything must pass before a change lands.
+#
+#   ./ci.sh          full gate (release build, tests, clippy, fmt)
+#   ./ci.sh fast     skip the release build (debug tests + lints only)
+#
+# The workspace builds fully offline: external dependencies are vendored
+# stand-ins under vendor/ (see Cargo.toml), so no registry access is
+# needed at any step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+if [[ "${1:-}" != "fast" ]]; then
+    step "cargo build --release"
+    cargo build --release --workspace
+fi
+
+step "cargo test -q"
+cargo test -q --workspace
+
+step "cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "ci.sh: all green"

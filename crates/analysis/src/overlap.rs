@@ -61,11 +61,7 @@ pub fn overlap_rate(trace: &Trace) -> OverlapReport {
         for &b in seq {
             distinct[b as usize] = true;
         }
-        let window = distinct
-            .iter()
-            .filter(|&&d| d)
-            .count()
-            .clamp(MIN_WINDOW, MAX_WINDOW);
+        let window = distinct.iter().filter(|&&d| d).count().clamp(MIN_WINDOW, MAX_WINDOW);
         if seq.len() < 2 * window {
             continue;
         }
@@ -129,10 +125,7 @@ mod tests {
     #[test]
     fn disjoint_windows_give_zero() {
         // Distinct count is 8, so window = 8: two windows of 8 accesses.
-        let t = trace_of(&[
-            (1, &[0, 1, 2, 3, 0, 1, 2, 3]),
-            (1, &[4, 5, 6, 7, 4, 5, 6, 7]),
-        ]);
+        let t = trace_of(&[(1, &[0, 1, 2, 3, 0, 1, 2, 3]), (1, &[4, 5, 6, 7, 4, 5, 6, 7])]);
         let r = overlap_rate(&t);
         assert_eq!(r.window_pairs, 1);
         assert!(r.mean_overlap < 1e-12);

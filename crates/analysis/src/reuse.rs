@@ -87,12 +87,7 @@ pub fn reuse_histogram(trace: &Trace) -> ReuseReport {
             None => cold += 1,
         }
     }
-    ReuseReport {
-        workload: trace.name().to_string(),
-        buckets,
-        cold,
-        accesses: trace.len() as u64,
-    }
+    ReuseReport { workload: trace.name().to_string(), buckets, cold, accesses: trace.len() as u64 }
 }
 
 #[cfg(test)]

@@ -18,17 +18,17 @@
 
 use std::collections::VecDeque;
 
-use planaria_common::{MemAccess, PhysAddr, PrefetchOrigin, PrefetchRequest, BLOCK_SIZE};
 #[cfg(test)]
 use planaria_common::Cycle;
+use planaria_common::{MemAccess, PhysAddr, PrefetchOrigin, PrefetchRequest, BLOCK_SIZE};
 use planaria_core::Prefetcher;
 
 /// The HPCA'16 offset list: every integer in 1..=256 whose prime factors
 /// are all ≤ 5 (52 offsets), in block units.
 pub const DEFAULT_OFFSETS: [i64; 52] = [
-    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
-    60, 64, 72, 75, 80, 81, 90, 96, 100, 108, 120, 125, 128, 135, 144, 150, 160, 162, 180, 192,
-    200, 216, 225, 240, 243, 250, 256,
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54, 60,
+    64, 72, 75, 80, 81, 90, 96, 100, 108, 120, 125, 128, 135, 144, 150, 160, 162, 180, 192, 200,
+    216, 225, 240, 243, 250, 256,
 ];
 
 /// BOP tuning parameters (HPCA'16 defaults).
@@ -133,12 +133,8 @@ impl Bop {
     }
 
     fn end_round(&mut self) {
-        let (best_idx, &best_score) = self
-            .scores
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &s)| s)
-            .expect("non-empty scores");
+        let (best_idx, &best_score) =
+            self.scores.iter().enumerate().max_by_key(|(_, &s)| s).expect("non-empty scores");
         self.best = (best_score >= self.cfg.bad_score).then(|| self.cfg.offsets[best_idx]);
         self.scores.iter_mut().for_each(|s| *s = 0);
         self.test_idx = 0;
@@ -218,9 +214,7 @@ impl Prefetcher for Bop {
 
     fn storage_bits(&self) -> u64 {
         // RR tags + per-offset scores + best-offset register + round state.
-        self.cfg.rr_entries as u64 * self.cfg.rr_tag_bits
-            + self.cfg.offsets.len() as u64 * 6
-            + 16
+        self.cfg.rr_entries as u64 * self.cfg.rr_tag_bits + self.cfg.offsets.len() as u64 * 6 + 16
     }
 
     fn table_accesses(&self) -> u64 {

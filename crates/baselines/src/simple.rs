@@ -116,18 +116,14 @@ impl Prefetcher for StridePf {
         let slot = match self.table.iter().position(|e| e.valid && e.page == page) {
             Some(i) => i,
             None => {
-                let victim = self
-                    .table
-                    .iter()
-                    .position(|e| !e.valid)
-                    .unwrap_or_else(|| {
-                        self.table
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, e)| e.lru)
-                            .map(|(i, _)| i)
-                            .expect("non-empty table")
-                    });
+                let victim = self.table.iter().position(|e| !e.valid).unwrap_or_else(|| {
+                    self.table
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.lru)
+                        .map(|(i, _)| i)
+                        .expect("non-empty table")
+                });
                 self.table[victim] = StrideEntry {
                     page,
                     last_block: block,

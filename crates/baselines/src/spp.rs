@@ -170,18 +170,14 @@ impl Spp {
     }
 
     fn st_allocate(&mut self, page: u64, offset: u8) {
-        let victim = self
-            .st
-            .iter()
-            .position(|e| !e.valid)
-            .unwrap_or_else(|| {
-                self.st
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.lru)
-                    .map(|(i, _)| i)
-                    .expect("non-empty ST")
-            });
+        let victim = self.st.iter().position(|e| !e.valid).unwrap_or_else(|| {
+            self.st
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty ST")
+        });
         self.st[victim] =
             StEntry { page, last_offset: offset, signature: 0, valid: true, lru: self.tick };
     }
@@ -296,10 +292,8 @@ mod tests {
     fn run(spp: &mut Spp, seq: &[(u64, usize)]) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for (i, &(page, block)) in seq.iter().enumerate() {
-            let addr = PhysAddr::from_parts(
-                PageNum::new(page),
-                planaria_common::BlockIndex::new(block),
-            );
+            let addr =
+                PhysAddr::from_parts(PageNum::new(page), planaria_common::BlockIndex::new(block));
             spp.on_access(&MemAccess::read(addr, Cycle::new(10 * i as u64)), false, &mut out);
         }
         out
@@ -360,12 +354,8 @@ mod tests {
     fn shuffled_footprints_yield_little() {
         let mut spp = Spp::default();
         // Same footprint, different order each visit: signatures splinter.
-        let orders: [[usize; 6]; 4] = [
-            [0, 9, 4, 13, 2, 7],
-            [13, 2, 9, 0, 7, 4],
-            [4, 7, 0, 2, 13, 9],
-            [9, 13, 7, 4, 0, 2],
-        ];
+        let orders: [[usize; 6]; 4] =
+            [[0, 9, 4, 13, 2, 7], [13, 2, 9, 0, 7, 4], [4, 7, 0, 2, 13, 9], [9, 13, 7, 4, 0, 2]];
         let mut seq = Vec::new();
         for (v, order) in orders.iter().enumerate() {
             for &b in order {
@@ -393,7 +383,7 @@ mod tests {
     fn st_capacity_evicts_lru() {
         let mut spp = Spp::new(SppConfig { st_entries: 2, ..SppConfig::default() });
         run(&mut spp, &[(1, 0), (2, 0), (3, 0)]); // page 1 evicted
-        // Page 1 must re-allocate (no delta learned from its history).
+                                                  // Page 1 must re-allocate (no delta learned from its history).
         let out = run(&mut spp, &[(1, 5)]);
         assert!(out.is_empty());
     }

@@ -12,9 +12,8 @@ const OPS: usize = 50_000;
 
 fn bench_cache(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
-    let addrs: Vec<PhysAddr> = (0..OPS)
-        .map(|_| PhysAddr::new(rng.gen_range(0..1u64 << 24) * BLOCK_SIZE))
-        .collect();
+    let addrs: Vec<PhysAddr> =
+        (0..OPS).map(|_| PhysAddr::new(rng.gen_range(0..1u64 << 24) * BLOCK_SIZE)).collect();
     let mut group = c.benchmark_group("system_cache");
     group.sample_size(20);
     group.throughput(Throughput::Elements(OPS as u64));

@@ -6,14 +6,14 @@
 //! metadata does.
 //!
 //! ```sh
-//! cargo run --release -p planaria-bench --bin ablation_cache_size [--len N]
+//! cargo run --release -p planaria-bench --bin ablation_cache_size [--len N] [--threads N]
 //! ```
 
 use planaria_bench::HarnessArgs;
-use planaria_sim::experiment::{run_trace_with, PrefetcherKind};
+use planaria_sim::experiment::PrefetcherKind;
+use planaria_sim::runner::{Job, TraceSource};
 use planaria_sim::table::{pct0, TextTable};
 use planaria_sim::SystemConfig;
-use planaria_trace::apps::profile;
 
 const SIZES_MB: [u64; 4] = [2, 4, 8, 16];
 
@@ -21,22 +21,28 @@ fn main() {
     let args = HarnessArgs::from_env();
     println!("Ablation: SC capacity (no prefetcher) vs Planaria at 4 MB\n");
 
+    let mut jobs = Vec::new();
+    for &app in &args.apps {
+        let source = TraceSource::App { app, length: args.len_for(app) };
+        for &mb in &SIZES_MB {
+            let mut cfg = SystemConfig::default();
+            cfg.cache = cfg.cache.with_size(mb << 20);
+            jobs.push(
+                Job::new(format!("{}/{mb}MB", app.abbr()), source.clone(), PrefetcherKind::None)
+                    .config(cfg),
+            );
+        }
+        jobs.push(Job::new(format!("{}/Planaria", app.abbr()), source, PrefetcherKind::Planaria));
+    }
+    let results = args.run_jobs(jobs);
+
     let mut header: Vec<String> = vec!["app".into()];
     header.extend(SIZES_MB.iter().map(|mb| format!("{mb} MB")));
     header.push("4 MB+Planaria".into());
     let mut t = TextTable::new(header);
-
-    for &app in &args.apps {
-        let trace = profile(app).scaled(args.len_for(app)).build();
+    for (app, row) in args.apps.iter().zip(results.chunks(SIZES_MB.len() + 1)) {
         let mut cells = vec![app.abbr().to_string()];
-        for &mb in &SIZES_MB {
-            let mut cfg = SystemConfig::default();
-            cfg.cache = cfg.cache.with_size(mb << 20);
-            let r = run_trace_with(&trace, PrefetcherKind::None, cfg);
-            cells.push(pct0(r.hit_rate));
-        }
-        let planaria = run_trace_with(&trace, PrefetcherKind::Planaria, SystemConfig::default());
-        cells.push(pct0(planaria.hit_rate));
+        cells.extend(row.iter().map(|r| pct0(r.hit_rate)));
         t.row(cells);
     }
     println!("{}", t.render());

@@ -7,13 +7,13 @@
 //! high, where the parallel coordinator trades accuracy for coverage.
 //!
 //! ```sh
-//! cargo run --release -p planaria-bench --bin ablation_coordinator [--len N]
+//! cargo run --release -p planaria-bench --bin ablation_coordinator [--len N] [--threads N]
 //! ```
 
 use planaria_bench::HarnessArgs;
-use planaria_sim::experiment::{run_trace, PrefetcherKind};
+use planaria_sim::experiment::PrefetcherKind;
+use planaria_sim::runner::Job;
 use planaria_sim::table::{pct0, TextTable};
-use planaria_trace::apps::profile;
 
 const KINDS: [PrefetcherKind; 4] = [
     PrefetcherKind::SlpOnly,
@@ -33,13 +33,18 @@ fn main() {
     }
     println!("Ablation: coordination policy\n");
 
-    for &app in &args.apps {
-        let trace = profile(app).scaled(args.len_for(app)).build();
+    let jobs: Vec<Job> = args
+        .apps
+        .iter()
+        .flat_map(|&app| KINDS.map(|k| Job::grid_cell(app, k, args.len_for(app))))
+        .collect();
+    let results = args.run_jobs(jobs);
+
+    for (app, row) in args.apps.iter().zip(results.chunks(KINDS.len())) {
         println!("=== {} ===", app.abbr());
         let mut t =
             TextTable::new(["coordinator", "hit rate", "accuracy", "coverage", "pf issued"]);
-        for kind in KINDS {
-            let r = run_trace(&trace, kind);
+        for r in row {
             t.row([
                 r.prefetcher.clone(),
                 pct0(r.hit_rate),

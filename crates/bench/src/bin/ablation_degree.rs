@@ -5,14 +5,13 @@
 //! snapshot is replayed per miss.
 //!
 //! ```sh
-//! cargo run --release -p planaria-bench --bin ablation_degree [--len N]
+//! cargo run --release -p planaria-bench --bin ablation_degree [--len N] [--threads N]
 //! ```
 
 use planaria_bench::HarnessArgs;
 use planaria_core::{Planaria, PlanariaConfig};
+use planaria_sim::runner::{Job, TraceSource};
 use planaria_sim::table::{pct0, TextTable};
-use planaria_sim::{MemorySystem, SystemConfig};
-use planaria_trace::apps::profile;
 
 const DEGREES: [usize; 5] = [1, 2, 4, 8, 16];
 
@@ -23,14 +22,26 @@ fn main() {
     }
     println!("Ablation: Planaria prefetch degree (per-trigger burst cap)\n");
 
+    let mut jobs = Vec::new();
     for &app in &args.apps {
-        let trace = profile(app).scaled(args.len_for(app)).build();
+        let source = TraceSource::App { app, length: args.len_for(app) };
+        for &d in &DEGREES {
+            jobs.push(Job::with_factory(
+                format!("{}/degree={d}", app.abbr()),
+                source.clone(),
+                Box::new(move || {
+                    let cfg = PlanariaConfig { max_degree: d, ..PlanariaConfig::default() };
+                    Box::new(Planaria::new(cfg))
+                }),
+            ));
+        }
+    }
+    let results = args.run_jobs(jobs);
+
+    for (app, row) in args.apps.iter().zip(results.chunks(DEGREES.len())) {
         println!("=== {} ===", app.abbr());
         let mut t = TextTable::new(["degree", "hit rate", "AMAT", "pf issued", "accuracy"]);
-        for &d in &DEGREES {
-            let cfg = PlanariaConfig { max_degree: d, ..PlanariaConfig::default() };
-            let r = MemorySystem::new(SystemConfig::default(), Box::new(Planaria::new(cfg)))
-                .run(&trace);
+        for (&d, r) in DEGREES.iter().zip(row) {
             t.row([
                 d.to_string(),
                 pct0(r.hit_rate),

@@ -7,15 +7,15 @@
 //!   Table 1's tCKE/tXP parameters model.
 //!
 //! ```sh
-//! cargo run --release -p planaria-bench --bin ablation_dram [--len N]
+//! cargo run --release -p planaria-bench --bin ablation_dram [--len N] [--threads N]
 //! ```
 
 use planaria_bench::HarnessArgs;
 use planaria_dram::{PagePolicy, SchedulerKind};
-use planaria_sim::experiment::{run_trace_with, PrefetcherKind};
+use planaria_sim::experiment::PrefetcherKind;
+use planaria_sim::runner::{Job, TraceSource};
 use planaria_sim::table::{pct0, TextTable};
 use planaria_sim::SystemConfig;
-use planaria_trace::apps::profile;
 
 fn main() {
     let mut args = HarnessArgs::from_env();
@@ -28,6 +28,27 @@ fn main() {
     }
     println!("Ablation: DRAM scheduler and power-down (Planaria prefetcher)\n");
 
+    let variants: [(&str, SchedulerKind, bool, PagePolicy); 4] = [
+        ("frfcfs", SchedulerKind::FrFcfs, true, PagePolicy::Open),
+        ("fcfs", SchedulerKind::Fcfs, true, PagePolicy::Open),
+        ("closed", SchedulerKind::FrFcfs, true, PagePolicy::Closed),
+        ("no-pd", SchedulerKind::FrFcfs, false, PagePolicy::Open),
+    ];
+    let mut jobs = Vec::new();
+    for &app in &args.apps {
+        let source = TraceSource::App { app, length: args.len_for(app) };
+        for &(tag, sched, powerdown, page) in &variants {
+            let mut cfg = SystemConfig::default();
+            cfg.dram = cfg.dram.with_scheduler(sched).with_page_policy(page);
+            cfg.dram.powerdown = powerdown;
+            jobs.push(
+                Job::new(format!("{}/{tag}", app.abbr()), source.clone(), PrefetcherKind::Planaria)
+                    .config(cfg),
+            );
+        }
+    }
+    let results = args.run_jobs(jobs);
+
     let mut t = TextTable::new([
         "app",
         "FR-FCFS AMAT",
@@ -37,18 +58,8 @@ fn main() {
         "power PD-on",
         "power PD-off",
     ]);
-    for &app in &args.apps {
-        let trace = profile(app).scaled(args.len_for(app)).build();
-        let run = |sched, powerdown, page| {
-            let mut cfg = SystemConfig::default();
-            cfg.dram = cfg.dram.with_scheduler(sched).with_page_policy(page);
-            cfg.dram.powerdown = powerdown;
-            run_trace_with(&trace, PrefetcherKind::Planaria, cfg)
-        };
-        let frfcfs = run(SchedulerKind::FrFcfs, true, PagePolicy::Open);
-        let fcfs = run(SchedulerKind::Fcfs, true, PagePolicy::Open);
-        let closed = run(SchedulerKind::FrFcfs, true, PagePolicy::Closed);
-        let no_pd = run(SchedulerKind::FrFcfs, false, PagePolicy::Open);
+    for (app, row) in args.apps.iter().zip(results.chunks(variants.len())) {
+        let [frfcfs, fcfs, closed, no_pd] = row else { unreachable!("chunk size") };
         t.row([
             app.abbr().to_string(),
             format!("{:.1}", frfcfs.amat_cycles),

@@ -7,14 +7,16 @@
 //! governor rescue BOP, and does Planaria even need one?
 //!
 //! ```sh
-//! cargo run --release -p planaria-bench --bin ablation_governor [--len N]
+//! cargo run --release -p planaria-bench --bin ablation_governor [--len N] [--threads N]
 //! ```
 
 use planaria_bench::HarnessArgs;
-use planaria_sim::experiment::{run_trace_with, PrefetcherKind};
+use planaria_sim::experiment::PrefetcherKind;
+use planaria_sim::runner::{Job, TraceSource};
 use planaria_sim::table::{pct, pct0, TextTable};
 use planaria_sim::{GovernorConfig, SystemConfig};
-use planaria_trace::apps::profile;
+
+const CONTENDERS: [PrefetcherKind; 2] = [PrefetcherKind::Bop, PrefetcherKind::Planaria];
 
 fn main() {
     let mut args = HarnessArgs::from_env();
@@ -23,10 +25,32 @@ fn main() {
     }
     println!("Ablation: FDP-style governor on BOP vs Planaria\n");
 
+    // Per app: the no-prefetch baseline, then each contender with the
+    // governor off and on.
+    let mut jobs = Vec::new();
     for &app in &args.apps {
-        let trace = profile(app).scaled(args.len_for(app)).build();
+        let source = TraceSource::App { app, length: args.len_for(app) };
+        jobs.push(Job::new(format!("{}/None", app.abbr()), source.clone(), PrefetcherKind::None));
+        for kind in CONTENDERS {
+            for governed in [false, true] {
+                let cfg = SystemConfig {
+                    governor: governed.then(GovernorConfig::default),
+                    ..SystemConfig::default()
+                };
+                let tag = if governed { "+gov" } else { "" };
+                jobs.push(
+                    Job::new(format!("{}/{}{tag}", app.abbr(), kind.label()), source.clone(), kind)
+                        .config(cfg),
+                );
+            }
+        }
+    }
+    let per_app = 1 + CONTENDERS.len() * 2;
+    let results = args.run_jobs(jobs);
+
+    for (app, row) in args.apps.iter().zip(results.chunks(per_app)) {
         println!("=== {} ===", app.abbr());
-        let none = run_trace_with(&trace, PrefetcherKind::None, SystemConfig::default());
+        let none = &row[0];
         let mut t = TextTable::new([
             "config",
             "hit rate",
@@ -35,19 +59,15 @@ fn main() {
             "power vs none",
             "accuracy",
         ]);
-        for kind in [PrefetcherKind::Bop, PrefetcherKind::Planaria] {
-            for governed in [false, true] {
-                let cfg = SystemConfig {
-                    governor: governed.then(GovernorConfig::default),
-                    ..SystemConfig::default()
-                };
-                let r = run_trace_with(&trace, kind, cfg);
+        for (i, kind) in CONTENDERS.into_iter().enumerate() {
+            for (j, governed) in [false, true].into_iter().enumerate() {
+                let r = &row[1 + i * 2 + j];
                 t.row([
                     format!("{}{}", kind.label(), if governed { " + governor" } else { "" }),
                     pct0(r.hit_rate),
                     format!("{:.1}", r.amat_cycles),
-                    pct(r.traffic_delta(&none)),
-                    pct(r.power_delta(&none)),
+                    pct(r.traffic_delta(none)),
+                    pct(r.power_delta(none)),
                     pct0(r.prefetch_accuracy),
                 ]);
             }

@@ -6,79 +6,87 @@
 //!   accumulated bitmap is deemed a complete snapshot.
 //!
 //! ```sh
-//! cargo run --release -p planaria-bench --bin ablation_planaria_params [--len N]
+//! cargo run --release -p planaria-bench --bin ablation_planaria_params [--len N] [--threads N]
 //! ```
 
 use planaria_bench::HarnessArgs;
 use planaria_core::{PatternMerge, Planaria, PlanariaConfig, SlpConfig, TlpConfig};
+use planaria_sim::runner::{Job, TraceSource};
 use planaria_sim::table::{pct0, TextTable};
-use planaria_sim::{MemorySystem, SystemConfig};
-use planaria_trace::apps::profile;
+use planaria_sim::SimResult;
+use planaria_trace::apps::AppId;
 
 const DISTANCES: [u64; 4] = [4, 16, 64, 512];
 const TIMEOUTS: [u64; 4] = [250, 1000, 2000, 8000];
+const MERGES: [PatternMerge; 3] =
+    [PatternMerge::Replace, PatternMerge::Union, PatternMerge::Intersect];
+
+/// One sweep as a Runner batch: per app, one Planaria variant per value.
+fn sweep(
+    args: &HarnessArgs,
+    tag: &str,
+    variants: usize,
+    make: impl Fn(usize) -> PlanariaConfig,
+) -> Vec<Vec<SimResult>> {
+    let mut jobs = Vec::new();
+    for &app in &args.apps {
+        let source = TraceSource::App { app, length: args.len_for(app) };
+        for v in 0..variants {
+            let cfg = make(v);
+            jobs.push(Job::with_factory(
+                format!("{}/{tag}#{v}", app.abbr()),
+                source.clone(),
+                Box::new(move || Box::new(Planaria::new(cfg))),
+            ));
+        }
+    }
+    args.run_jobs(jobs).chunks(variants).map(<[SimResult]>::to_vec).collect()
+}
 
 fn main() {
     let mut args = HarnessArgs::from_env();
     // Parameter sweeps multiply runs; default to a representative app pair.
     if args.apps.len() == 10 {
-        args.apps = vec![planaria_trace::apps::AppId::HoK, planaria_trace::apps::AppId::Fort];
+        args.apps = vec![AppId::HoK, AppId::Fort];
     }
 
     println!("Ablation: TLP distance threshold (full Planaria)\n");
+    let rows = sweep(&args, "dist", DISTANCES.len(), |i| PlanariaConfig {
+        tlp: TlpConfig { distance_threshold: DISTANCES[i], ..TlpConfig::default() },
+        ..PlanariaConfig::default()
+    });
     let mut t = TextTable::new(["app", "dist=4", "dist=16", "dist=64", "dist=512"]);
-    for &app in &args.apps {
-        let trace = profile(app).scaled(args.len_for(app)).build();
+    for (app, row) in args.apps.iter().zip(&rows) {
         let mut cells = vec![app.abbr().to_string()];
-        for &d in &DISTANCES {
-            let cfg = PlanariaConfig {
-                tlp: TlpConfig { distance_threshold: d, ..TlpConfig::default() },
-                ..PlanariaConfig::default()
-            };
-            let r = MemorySystem::new(SystemConfig::default(), Box::new(Planaria::new(cfg)))
-                .run(&trace);
-            cells.push(pct0(r.hit_rate));
-        }
+        cells.extend(row.iter().map(|r| pct0(r.hit_rate)));
         t.row(cells);
     }
     println!("{}", t.render());
 
     println!("Ablation: SLP accumulation-table timeout (full Planaria)\n");
+    let rows = sweep(&args, "timeout", TIMEOUTS.len(), |i| PlanariaConfig {
+        slp: SlpConfig { timeout: TIMEOUTS[i], ..SlpConfig::default() },
+        ..PlanariaConfig::default()
+    });
     let mut t = TextTable::new(["app", "250cy", "1000cy", "2000cy", "8000cy"]);
-    for &app in &args.apps {
-        let trace = profile(app).scaled(args.len_for(app)).build();
+    for (app, row) in args.apps.iter().zip(&rows) {
         let mut cells = vec![app.abbr().to_string()];
-        for &timeout in &TIMEOUTS {
-            let cfg = PlanariaConfig {
-                slp: SlpConfig { timeout, ..SlpConfig::default() },
-                ..PlanariaConfig::default()
-            };
-            let r = MemorySystem::new(SystemConfig::default(), Box::new(Planaria::new(cfg)))
-                .run(&trace);
-            cells.push(pct0(r.hit_rate));
-        }
+        cells.extend(row.iter().map(|r| pct0(r.hit_rate)));
         t.row(cells);
     }
     println!("{}", t.render());
 
     println!("Ablation: PT snapshot-merge policy (DSPatch-style duality)\n");
+    let rows = sweep(&args, "merge", MERGES.len(), |i| PlanariaConfig {
+        slp: SlpConfig { pattern_merge: MERGES[i], ..SlpConfig::default() },
+        ..PlanariaConfig::default()
+    });
     let mut t = TextTable::new(["app", "replace (paper)", "union", "intersect"]);
-    for &app in &args.apps {
-        let trace = profile(app).scaled(args.len_for(app)).build();
+    for (app, row) in args.apps.iter().zip(&rows) {
         let mut cells = vec![app.abbr().to_string()];
-        for merge in [PatternMerge::Replace, PatternMerge::Union, PatternMerge::Intersect] {
-            let cfg = PlanariaConfig {
-                slp: SlpConfig { pattern_merge: merge, ..SlpConfig::default() },
-                ..PlanariaConfig::default()
-            };
-            let r = MemorySystem::new(SystemConfig::default(), Box::new(Planaria::new(cfg)))
-                .run(&trace);
-            cells.push(format!(
-                "{} / {}",
-                pct0(r.hit_rate),
-                pct0(r.prefetch_accuracy)
-            ));
-        }
+        cells.extend(
+            row.iter().map(|r| format!("{} / {}", pct0(r.hit_rate), pct0(r.prefetch_accuracy))),
+        );
         t.row(cells);
     }
     println!("{}", t.render());

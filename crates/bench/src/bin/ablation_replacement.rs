@@ -7,36 +7,42 @@
 //! of plain LRU.
 //!
 //! ```sh
-//! cargo run --release -p planaria-bench --bin ablation_replacement [--len N]
+//! cargo run --release -p planaria-bench --bin ablation_replacement [--len N] [--threads N]
 //! ```
 
 use planaria_bench::HarnessArgs;
 use planaria_cache::ReplacementKind;
-use planaria_sim::experiment::{run_trace_with, PrefetcherKind};
+use planaria_sim::experiment::PrefetcherKind;
+use planaria_sim::runner::{Job, TraceSource};
 use planaria_sim::table::{pct0, TextTable};
 use planaria_sim::SystemConfig;
-use planaria_trace::apps::profile;
 
 fn main() {
     let args = HarnessArgs::from_env();
     println!("Ablation: SC replacement policy (no prefetcher) vs Planaria on LRU\n");
 
+    let mut jobs = Vec::new();
+    for &app in &args.apps {
+        let source = TraceSource::App { app, length: args.len_for(app) };
+        for &repl in &ReplacementKind::ALL {
+            let mut cfg = SystemConfig::default();
+            cfg.cache = cfg.cache.with_replacement(repl);
+            jobs.push(
+                Job::new(format!("{}/{repl}", app.abbr()), source.clone(), PrefetcherKind::None)
+                    .config(cfg),
+            );
+        }
+        jobs.push(Job::new(format!("{}/Planaria", app.abbr()), source, PrefetcherKind::Planaria));
+    }
+    let results = args.run_jobs(jobs);
+
     let mut header: Vec<String> = vec!["app".into()];
     header.extend(ReplacementKind::ALL.iter().map(|k| k.to_string()));
     header.push("LRU+Planaria".into());
     let mut t = TextTable::new(header);
-
-    for &app in &args.apps {
-        let trace = profile(app).scaled(args.len_for(app)).build();
+    for (app, row) in args.apps.iter().zip(results.chunks(ReplacementKind::ALL.len() + 1)) {
         let mut cells = vec![app.abbr().to_string()];
-        for &repl in &ReplacementKind::ALL {
-            let mut cfg = SystemConfig::default();
-            cfg.cache = cfg.cache.with_replacement(repl);
-            let r = run_trace_with(&trace, PrefetcherKind::None, cfg);
-            cells.push(pct0(r.hit_rate));
-        }
-        let planaria = run_trace_with(&trace, PrefetcherKind::Planaria, SystemConfig::default());
-        cells.push(pct0(planaria.hit_rate));
+        cells.extend(row.iter().map(|r| pct0(r.hit_rate)));
         t.row(cells);
     }
     println!("{}", t.render());

@@ -24,10 +24,7 @@ fn main() {
     for a in trace.iter() {
         *counts.entry(a.addr.page()).or_default() += 1;
     }
-    let (&page, &n) = counts
-        .iter()
-        .max_by_key(|(_, &c)| c)
-        .expect("non-empty trace");
+    let (&page, &n) = counts.iter().max_by_key(|(_, &c)| c).expect("non-empty trace");
     println!("Figure 2: footprint snapshot of {page} ({n} accesses) in a CFM-like trace\n");
 
     let events: Vec<(u64, usize)> = trace

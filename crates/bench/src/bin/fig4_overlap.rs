@@ -32,16 +32,7 @@ fn main() {
         ]);
     }
     let avg = mean(rates.iter().copied());
-    t.rule().row([
-        "avg".to_string(),
-        pct0(avg),
-        bar(avg, 30),
-        String::new(),
-        String::new(),
-    ]);
+    t.rule().row(["avg".to_string(), pct0(avg), bar(avg, 30), String::new(), String::new()]);
     println!("{}", t.render());
-    println!(
-        "paper: every app above 80%, average well above 80% — measured average {}",
-        pct0(avg)
-    );
+    println!("paper: every app above 80%, average well above 80% — measured average {}", pct0(avg));
 }

@@ -31,17 +31,11 @@ fn main() {
 
     let grid = args.run_grid(&KINDS);
 
-    let mut t = TextTable::new([
-        "app",
-        "SLP share",
-        "TLP share",
-        "SLP ▍TLP",
-        "useful SLP/TLP (full run)",
-    ]);
+    let mut t =
+        TextTable::new(["app", "SLP share", "TLP share", "SLP ▍TLP", "useful SLP/TLP (full run)"]);
     let mut slp_shares = Vec::new();
     for (app, results) in args.apps.iter().zip(&grid) {
-        let (none, slp_only, tlp_only, full) =
-            (&results[0], &results[1], &results[2], &results[3]);
+        let (none, slp_only, tlp_only, full) = (&results[0], &results[1], &results[2], &results[3]);
         let d_slp = (none.amat_cycles - slp_only.amat_cycles).max(0.0);
         let d_tlp = (none.amat_cycles - tlp_only.amat_cycles).max(0.0);
         let slp_share = if d_slp + d_tlp > 0.0 { d_slp / (d_slp + d_tlp) } else { 0.0 };
@@ -55,13 +49,7 @@ fn main() {
         ]);
     }
     let avg = mean(slp_shares.iter().copied());
-    t.rule().row([
-        "avg".to_string(),
-        pct0(avg),
-        pct0(1.0 - avg),
-        bar(avg, 24),
-        String::new(),
-    ]);
+    t.rule().row(["avg".to_string(), pct0(avg), pct0(1.0 - avg), bar(avg, 24), String::new()]);
     println!("{}", t.render());
     println!(
         "paper shape: SLP ≈80% of the improvement on average; CFM/QSM/HI3/KO/NBA2\n\

@@ -26,9 +26,8 @@ fn main() {
     for (app, results) in args.apps.iter().zip(&grid) {
         let (none, bop, spp, planaria) = (&results[0], &results[1], &results[2], &results[3]);
         let mi = app.mem_intensity();
-        let rel = |r: &planaria_sim::SimResult| {
-            ipc_improvement(r.amat_cycles, none.amat_cycles, mi)
-        };
+        let rel =
+            |r: &planaria_sim::SimResult| ipc_improvement(r.amat_cycles, none.amat_cycles, mi);
         // IPC of Planaria measured against each baseline's own IPC.
         let ipc_n = rel(planaria);
         let ipc_b = (1.0 + rel(planaria)) / (1.0 + rel(bop)) - 1.0;

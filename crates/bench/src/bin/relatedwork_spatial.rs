@@ -12,9 +12,8 @@
 
 use planaria_baselines::Sms;
 use planaria_core::{Prefetcher, Slp};
+use planaria_sim::runner::{Job, PrefetcherFactory, TraceSource};
 use planaria_sim::table::{pct0, TextTable};
-use planaria_sim::{MemorySystem, SystemConfig};
-use planaria_trace::apps::profile;
 
 fn main() {
     let mut args = planaria_bench::HarnessArgs::from_env();
@@ -27,14 +26,26 @@ fn main() {
     }
     println!("Related work: per-page (SLP) vs global-table (SMS) spatial signatures\n");
 
+    type MakePrefetcher = fn() -> Box<dyn Prefetcher>;
+    let contenders: [(&str, MakePrefetcher); 2] =
+        [("SMS", || Box::new(Sms::default())), ("SLP", || Box::new(Slp::default()))];
+    let mut jobs = Vec::new();
     for &app in &args.apps {
-        let trace = profile(app).scaled(args.len_for(app)).build();
+        let source = TraceSource::App { app, length: args.len_for(app) };
+        for (tag, make) in contenders {
+            jobs.push(Job::with_factory(
+                format!("{}/{tag}", app.abbr()),
+                source.clone(),
+                Box::new(make) as PrefetcherFactory,
+            ));
+        }
+    }
+    let results = args.run_jobs(jobs);
+
+    for (app, row) in args.apps.iter().zip(results.chunks(contenders.len())) {
         println!("=== {} ===", app.abbr());
         let mut t = TextTable::new(["prefetcher", "hit rate", "accuracy", "coverage", "traffic"]);
-        let contenders: Vec<Box<dyn Prefetcher>> =
-            vec![Box::new(Sms::default()), Box::new(Slp::default())];
-        for pf in contenders {
-            let r = MemorySystem::new(SystemConfig::default(), pf).run(&trace);
+        for r in row {
             t.row([
                 r.prefetcher.clone(),
                 pct0(r.hit_rate),

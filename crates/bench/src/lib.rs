@@ -7,16 +7,23 @@
 //!   large enough for several training rounds of every app's working set);
 //! * `--full` — use the paper's full Table 2 lengths (~67–71 M accesses
 //!   per app; slow but exact);
-//! * `--apps CFM,HoK,...` — restrict to a subset of applications.
+//! * `--apps CFM,HoK,...` — restrict to a subset of applications;
+//! * `--threads <N>` — worker threads for the experiment grid (default:
+//!   all available cores);
+//! * `--progress` — live per-cell progress lines (interim hit rate) on
+//!   stderr.
 //!
 //! Output is an aligned text table (one row per app plus an average row) —
-//! the faithful terminal rendering of the paper's bar charts.
+//! the faithful terminal rendering of the paper's bar charts. Grids run on
+//! `planaria-sim`'s parallel [`Runner`]; a wall-clock summary (slowest
+//! cell, simulated-cycle throughput) lands on stderr after each grid.
 
 #![forbid(unsafe_code)]
 
-use planaria_sim::experiment::{run_trace, PrefetcherKind};
+use planaria_sim::experiment::PrefetcherKind;
+use planaria_sim::runner::{Job, RunReport, Runner};
 use planaria_sim::SimResult;
-use planaria_trace::apps::{profile, AppId};
+use planaria_trace::apps::AppId;
 
 /// Default per-app trace length for figure regeneration.
 pub const DEFAULT_LEN: usize = 1_000_000;
@@ -28,11 +35,15 @@ pub struct HarnessArgs {
     pub len: Option<usize>,
     /// Applications to run.
     pub apps: Vec<AppId>,
+    /// Worker threads (`None` = all available cores).
+    pub threads: Option<usize>,
+    /// Emit live per-cell progress lines on stderr.
+    pub progress: bool,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        Self { len: Some(DEFAULT_LEN), apps: AppId::ALL.to_vec() }
+        Self { len: Some(DEFAULT_LEN), apps: AppId::ALL.to_vec(), threads: None, progress: false }
     }
 }
 
@@ -65,8 +76,17 @@ impl HarnessArgs {
                         })
                         .collect();
                 }
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a value");
+                    let n: usize = v.parse().expect("--threads must be an integer");
+                    assert!(n > 0, "--threads must be positive");
+                    out.threads = Some(n);
+                }
+                "--progress" => out.progress = true,
                 "--help" | "-h" => {
-                    eprintln!("usage: [--len N | --full] [--apps CFM,HoK,...]");
+                    eprintln!(
+                        "usage: [--len N | --full] [--apps CFM,HoK,...] [--threads N] [--progress]"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument {other:?} (try --help)"),
@@ -82,27 +102,57 @@ impl HarnessArgs {
 
     /// The effective trace length for `app`.
     pub fn len_for(&self, app: AppId) -> usize {
-        self.len
-            .unwrap_or_else(|| (app.paper_length_m() * 1_000_000.0) as usize)
+        self.len.unwrap_or_else(|| (app.paper_length_m() * 1_000_000.0) as usize)
     }
 
-    /// Builds each selected app's trace and runs every `kind` over it,
-    /// reporting progress on stderr.
-    pub fn run_grid(&self, kinds: &[PrefetcherKind]) -> Vec<Vec<SimResult>> {
-        self.apps
-            .iter()
-            .map(|&app| {
-                eprintln!("  [{}] building trace ({} accesses)...", app.abbr(), self.len_for(app));
-                let trace = profile(app).scaled(self.len_for(app)).build();
-                kinds
-                    .iter()
-                    .map(|&k| {
-                        eprintln!("  [{}] running {}...", app.abbr(), k.label());
-                        run_trace(&trace, k)
-                    })
-                    .collect()
+    /// A [`Runner`] configured from `--threads` / `--progress`.
+    pub fn runner(&self) -> Runner {
+        let runner = match self.threads {
+            Some(n) => Runner::new(n),
+            None => Runner::auto(),
+        };
+        if self.progress {
+            runner.with_progress(|e| {
+                eprintln!(
+                    "  [{}/{}] {}: {:.0}% (hit rate {:.3})",
+                    e.job + 1,
+                    e.total,
+                    e.label,
+                    e.done as f64 / e.trace_len.max(1) as f64 * 100.0,
+                    e.hit_rate,
+                )
             })
-            .collect()
+        } else {
+            runner
+        }
+    }
+
+    /// Runs every `kind` over each selected app on the parallel engine,
+    /// printing the batch summary on stderr. Rows are per app in `kinds`
+    /// order.
+    pub fn run_grid(&self, kinds: &[PrefetcherKind]) -> Vec<Vec<SimResult>> {
+        let report = self.run_grid_report(kinds);
+        eprintln!("  {}", report.summary());
+        report.into_rows(kinds.len())
+    }
+
+    /// Like [`HarnessArgs::run_grid`], returning the full [`RunReport`]
+    /// (per-cell timings) instead of bare rows.
+    pub fn run_grid_report(&self, kinds: &[PrefetcherKind]) -> RunReport {
+        let jobs: Vec<Job> = self
+            .apps
+            .iter()
+            .flat_map(|&app| kinds.iter().map(move |&k| Job::grid_cell(app, k, self.len_for(app))))
+            .collect();
+        self.runner().run(jobs)
+    }
+
+    /// Runs a caller-assembled job batch on this harness's runner and
+    /// prints the batch summary on stderr (the ablation harnesses' path).
+    pub fn run_jobs(&self, jobs: Vec<Job>) -> Vec<SimResult> {
+        let report = self.runner().run(jobs);
+        eprintln!("  {}", report.summary());
+        report.into_results()
     }
 }
 
@@ -121,15 +171,23 @@ mod tests {
         let a = HarnessArgs::parse(Vec::<String>::new());
         assert_eq!(a.len, Some(DEFAULT_LEN));
         assert_eq!(a.apps.len(), 10);
+        assert_eq!(a.threads, None);
+        assert!(!a.progress);
     }
 
     #[test]
     fn parse_len_and_apps() {
-        let a = HarnessArgs::parse(
-            ["--len", "50_000", "--apps", "CFM,fort"].map(String::from),
-        );
+        let a = HarnessArgs::parse(["--len", "50_000", "--apps", "CFM,fort"].map(String::from));
         assert_eq!(a.len, Some(50_000));
         assert_eq!(a.apps, vec![AppId::Cfm, AppId::Fort]);
+    }
+
+    #[test]
+    fn parse_threads_and_progress() {
+        let a = HarnessArgs::parse(["--threads", "4", "--progress"].map(String::from));
+        assert_eq!(a.threads, Some(4));
+        assert!(a.progress);
+        assert_eq!(a.runner().threads(), 4);
     }
 
     #[test]
@@ -143,6 +201,27 @@ mod tests {
     #[should_panic(expected = "unknown app")]
     fn parse_rejects_unknown_app() {
         let _ = HarnessArgs::parse(["--apps", "WAT"].map(String::from));
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads must be positive")]
+    fn parse_rejects_zero_threads() {
+        let _ = HarnessArgs::parse(["--threads", "0"].map(String::from));
+    }
+
+    #[test]
+    fn grid_runs_on_runner() {
+        let a = HarnessArgs {
+            len: Some(2_000),
+            apps: vec![AppId::Cfm, AppId::Hi3],
+            threads: Some(2),
+            progress: false,
+        };
+        let rows = a.run_grid(&[PrefetcherKind::None, PrefetcherKind::NextLine]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 2);
+        assert_eq!(rows[0][0].workload, "CFM");
+        assert_eq!(rows[1][1].prefetcher, "NextLine");
     }
 
     #[test]

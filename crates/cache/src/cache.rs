@@ -156,9 +156,7 @@ impl SetAssocCache {
     pub fn contains(&self, addr: PhysAddr) -> bool {
         let (set, tag) = self.index(addr);
         let ways = self.config.ways;
-        self.lines[set * ways..(set + 1) * ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.lines[set * ways..(set + 1) * ways].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Performs a demand access (updates replacement state and stats).
@@ -169,10 +167,7 @@ impl SetAssocCache {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
-        let hit_way = self
-            .set_lines(set)
-            .iter()
-            .position(|l| l.valid && l.tag == tag);
+        let hit_way = self.set_lines(set).iter().position(|l| l.valid && l.tag == tag);
         match hit_way {
             Some(way) => {
                 let line = &mut self.set_lines(set)[way];
@@ -214,15 +209,15 @@ impl SetAssocCache {
     /// demand fills. Filling a block that is already present is a no-op
     /// (returns `None`) — this happens when a demand fill races an earlier
     /// prefetch fill of the same block.
-    pub fn fill(&mut self, addr: PhysAddr, prefetched: Option<PrefetchOrigin>) -> Option<EvictedLine> {
+    pub fn fill(
+        &mut self,
+        addr: PhysAddr,
+        prefetched: Option<PrefetchOrigin>,
+    ) -> Option<EvictedLine> {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
-        if self
-            .set_lines(set)
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
-        {
+        if self.set_lines(set).iter().any(|l| l.valid && l.tag == tag) {
             return None;
         }
         if prefetched.is_some() {
@@ -412,11 +407,8 @@ mod tests {
         // hits (classic thrash); BRRIP's distant insertion retains part of
         // the working set.
         let run = |repl| {
-            let mut c = SetAssocCache::new(CacheConfig {
-                size_bytes: 512,
-                ways: 2,
-                replacement: repl,
-            });
+            let mut c =
+                SetAssocCache::new(CacheConfig { size_bytes: 512, ways: 2, replacement: repl });
             let blocks = [0u64, 4, 8]; // 3 blocks, all in set 0, 2 ways
             let mut hits = 0;
             for round in 0..200 {

@@ -121,12 +121,8 @@ impl MshrFile {
     /// Releases every entry whose fill completed at or before `now`,
     /// returning `(block address, was prefetch)` pairs.
     pub fn drain_completed(&mut self, now: Cycle) -> Vec<(PhysAddr, Option<PrefetchOrigin>)> {
-        let done: Vec<u64> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.ready_at <= now)
-            .map(|(&b, _)| b)
-            .collect();
+        let done: Vec<u64> =
+            self.entries.iter().filter(|(_, e)| e.ready_at <= now).map(|(&b, _)| b).collect();
         let mut out = Vec::with_capacity(done.len());
         for b in done {
             let e = self.entries.remove(&b).expect("key just listed");
@@ -147,10 +143,7 @@ mod tests {
         let a = PhysAddr::new(0x1000);
         assert_eq!(m.probe(a), MshrStatus::Absent);
         assert!(m.allocate(a, Cycle::new(100), None));
-        assert_eq!(
-            m.probe(a),
-            MshrStatus::InFlight { ready_at: Cycle::new(100), prefetch: None }
-        );
+        assert_eq!(m.probe(a), MshrStatus::InFlight { ready_at: Cycle::new(100), prefetch: None });
         assert!(!m.allocate(a, Cycle::new(200), None), "duplicate allocation");
         assert_eq!(m.len(), 1);
     }
@@ -175,10 +168,7 @@ mod tests {
         assert_eq!(m.late_prefetch_hits, 1);
         assert_eq!(m.merged, 1);
         // Entry is now a demand entry.
-        assert_eq!(
-            m.probe(a),
-            MshrStatus::InFlight { ready_at: Cycle::new(500), prefetch: None }
-        );
+        assert_eq!(m.probe(a), MshrStatus::InFlight { ready_at: Cycle::new(500), prefetch: None });
     }
 
     #[test]

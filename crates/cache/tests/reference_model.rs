@@ -60,10 +60,7 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     // Small block range so sets collide and evict constantly.
-    prop_oneof![
-        (0u64..96).prop_map(Op::Access),
-        (0u64..96).prop_map(Op::Fill),
-    ]
+    prop_oneof![(0u64..96).prop_map(Op::Access), (0u64..96).prop_map(Op::Fill),]
 }
 
 proptest! {

@@ -166,10 +166,7 @@ impl BlockIndex {
     ///
     /// Panics if `idx >= BLOCKS_PER_PAGE` (64).
     pub fn new(idx: usize) -> Self {
-        assert!(
-            idx < BLOCKS_PER_PAGE,
-            "block index {idx} out of range 0..{BLOCKS_PER_PAGE}"
-        );
+        assert!(idx < BLOCKS_PER_PAGE, "block index {idx} out of range 0..{BLOCKS_PER_PAGE}");
         Self(idx as u8)
     }
 
@@ -214,10 +211,7 @@ impl SegmentIndex {
     ///
     /// Panics if `idx >= NUM_CHANNELS` (4).
     pub fn new(idx: usize) -> Self {
-        assert!(
-            idx < NUM_CHANNELS,
-            "segment index {idx} out of range 0..{NUM_CHANNELS}"
-        );
+        assert!(idx < NUM_CHANNELS, "segment index {idx} out of range 0..{NUM_CHANNELS}");
         Self(idx as u8)
     }
 

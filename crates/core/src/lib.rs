@@ -39,9 +39,9 @@
 
 #![forbid(unsafe_code)]
 
+mod planaria;
 pub mod slp;
 pub mod storage;
-mod planaria;
 mod tlp;
 mod traits;
 

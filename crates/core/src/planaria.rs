@@ -182,10 +182,7 @@ impl Prefetcher for Planaria {
     }
 
     fn table_accesses(&self) -> u64 {
-        self.channels
-            .iter()
-            .map(|c| c.slp.table_accesses() + c.tlp.accesses)
-            .sum()
+        self.channels.iter().map(|c| c.slp.table_accesses() + c.tlp.accesses).sum()
     }
 }
 
@@ -310,7 +307,8 @@ mod tests {
     #[test]
     fn degree_throttle_caps_burst_size() {
         let mut full = Planaria::default();
-        let mut throttled = Planaria::new(PlanariaConfig { max_degree: 2, ..PlanariaConfig::default() });
+        let mut throttled =
+            Planaria::new(PlanariaConfig { max_degree: 2, ..PlanariaConfig::default() });
         let blocks = [0usize, 2, 4, 6, 8, 10, 12, 14];
         for pf in [&mut full, &mut throttled] {
             touch(pf, 42, &blocks, 0);

@@ -161,7 +161,10 @@ pub struct Slp {
 impl Slp {
     /// Creates a four-channel SLP.
     pub fn new(cfg: SlpConfig) -> Self {
-        Self { channels: (0..NUM_CHANNELS).map(|s| ChannelSlp::new_for_segment(&cfg, s)).collect(), cfg }
+        Self {
+            channels: (0..NUM_CHANNELS).map(|s| ChannelSlp::new_for_segment(&cfg, s)).collect(),
+            cfg,
+        }
     }
 
     /// The configuration in use.
@@ -224,7 +227,13 @@ mod tests {
 
     /// Drives one full visit of `blocks` (all in segment 0) at ~10-cycle
     /// spacing starting at `t0`; returns requests generated.
-    fn visit(slp: &mut Slp, page: u64, blocks: &[usize], t0: u64, hit: bool) -> Vec<PrefetchRequest> {
+    fn visit(
+        slp: &mut Slp,
+        page: u64,
+        blocks: &[usize],
+        t0: u64,
+        hit: bool,
+    ) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for (i, &b) in blocks.iter().enumerate() {
             slp.on_access(&access(page, b, t0 + 10 * i as u64), hit, &mut out);
@@ -246,8 +255,7 @@ mod tests {
         visit(&mut slp, 42, &blocks, 0, false);
         // Long idle gap lets the AT entry time out into the PT.
         let out = visit(&mut slp, 42, &[3], 10_000, false);
-        let mut got: Vec<usize> =
-            out.iter().map(|r| r.addr.block_index().as_usize()).collect();
+        let mut got: Vec<usize> = out.iter().map(|r| r.addr.block_index().as_usize()).collect();
         got.sort();
         // Everything in the snapshot except the trigger block 3.
         assert_eq!(got, vec![0, 5, 7, 9]);

@@ -99,8 +99,7 @@ impl FilterTable {
                     e.count += 1;
                     if e.count as usize == FT_PROMOTE_COUNT {
                         let e = self.map.remove(&page).expect("entry just updated");
-                        let bitmap =
-                            e.offsets.iter().map(|&o| o as usize).collect::<Bitmap16>();
+                        let bitmap = e.offsets.iter().map(|&o| o as usize).collect::<Bitmap16>();
                         return Some(bitmap);
                     }
                 }
@@ -122,12 +121,9 @@ impl FilterTable {
     /// Offsets recorded so far for `page`, as a bitmap (blocks already
     /// accessed in the current visit while the page is still filtering).
     pub(crate) fn observed(&self, page: u64) -> Option<Bitmap16> {
-        self.map.get(&page).map(|e| {
-            e.offsets[..e.count as usize]
-                .iter()
-                .map(|&o| o as usize)
-                .collect()
-        })
+        self.map
+            .get(&page)
+            .map(|e| e.offsets[..e.count as usize].iter().map(|&o| o as usize).collect())
     }
 
     fn evict_oldest(&mut self) {

@@ -73,10 +73,7 @@ mod tests {
         let kb = planaria_kilobytes(&PlanariaConfig::default());
         // Paper: 345.2 KB. Our derived layout lands within a rounding
         // neighbourhood of it.
-        assert!(
-            (kb - 345.2).abs() < 2.0,
-            "storage {kb:.1} KB strays from the paper's 345.2 KB"
-        );
+        assert!((kb - 345.2).abs() < 2.0, "storage {kb:.1} KB strays from the paper's 345.2 KB");
     }
 
     #[test]

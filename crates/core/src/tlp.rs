@@ -74,9 +74,7 @@ impl ChannelTlp {
     }
 
     fn slot_of(&self, page: u64) -> Option<usize> {
-        self.slots
-            .iter()
-            .position(|s| s.map(|e| e.page) == Some(page))
+        self.slots.iter().position(|s| s.map(|e| e.page) == Some(page))
     }
 
     /// Learning phase: record (page, segment offset) at `now`.
@@ -89,18 +87,14 @@ impl ChannelTlp {
             return;
         }
         // Allocate: empty slot first, else LRU victim.
-        let victim = self
-            .slots
-            .iter()
-            .position(Option::is_none)
-            .unwrap_or_else(|| {
-                self.slots
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| s.map(|e| e.last).unwrap_or(Cycle::ZERO))
-                    .map(|(i, _)| i)
-                    .expect("non-empty RPT")
-            });
+        let victim = self.slots.iter().position(Option::is_none).unwrap_or_else(|| {
+            self.slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.map(|e| e.last).unwrap_or(Cycle::ZERO))
+                .map(|(i, _)| i)
+                .expect("non-empty RPT")
+        });
         // The departing entry's Ref bits in everyone else are cleared; the
         // newcomer's are recomputed pairwise (paper §4.2).
         let mask = !(1u128 << victim);
@@ -117,12 +111,8 @@ impl ChannelTlp {
                 }
             }
         }
-        self.slots[victim] = Some(RptEntry {
-            page,
-            bitmap: Bitmap16::EMPTY.with(offset),
-            last: now,
-            refs,
-        });
+        self.slots[victim] =
+            Some(RptEntry { page, bitmap: Bitmap16::EMPTY.with(offset), last: now, refs });
     }
 
     /// Issuing phase: on a demand miss, transfer the most similar
@@ -144,9 +134,7 @@ impl ChannelTlp {
             refs &= refs - 1;
             if let Some(other) = self.slots.get(j).copied().flatten() {
                 let common = me.bitmap.overlap(other.bitmap);
-                if common >= self.cfg.min_common_bits
-                    && best.is_none_or(|(c, _)| common > c)
-                {
+                if common >= self.cfg.min_common_bits && best.is_none_or(|(c, _)| common > c) {
                     best = Some((common, other.bitmap));
                 }
             }
@@ -155,8 +143,7 @@ impl ChannelTlp {
         let todo = pattern.minus(me.bitmap);
         let page_num = PageNum::new(page);
         for pos in todo.iter_set() {
-            let addr =
-                PhysAddr::from_parts(page_num, SegmentIndex::new(self.segment).block(pos));
+            let addr = PhysAddr::from_parts(page_num, SegmentIndex::new(self.segment).block(pos));
             out.push(PrefetchRequest::new(addr, PrefetchOrigin::Tlp, triggered_at));
         }
     }
@@ -177,9 +164,7 @@ impl Tlp {
     /// Creates a four-channel TLP.
     pub fn new(cfg: TlpConfig) -> Self {
         Self {
-            channels: (0..NUM_CHANNELS)
-                .map(|s| ChannelTlp::new_for_segment(&cfg, s))
-                .collect(),
+            channels: (0..NUM_CHANNELS).map(|s| ChannelTlp::new_for_segment(&cfg, s)).collect(),
             cfg,
         }
     }

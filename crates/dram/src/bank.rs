@@ -24,12 +24,7 @@ pub(crate) struct Bank {
 
 impl Bank {
     pub(crate) fn new() -> Self {
-        Self {
-            open_row: None,
-            next_act: Cycle::ZERO,
-            next_pre: Cycle::ZERO,
-            next_col: Cycle::ZERO,
-        }
+        Self { open_row: None, next_act: Cycle::ZERO, next_pre: Cycle::ZERO, next_col: Cycle::ZERO }
     }
 
     /// Applies an ACT issued at `at` opening `row`.

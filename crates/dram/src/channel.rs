@@ -140,11 +140,7 @@ impl Channel {
     /// writeback, then age.
     fn best_candidate(&self) -> Option<Candidate> {
         if self.cfg.scheduler == SchedulerKind::Fcfs {
-            let (i, p) = self
-                .queue
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, p)| p.seq)?;
+            let (i, p) = self.queue.iter().enumerate().min_by_key(|(_, p)| p.seq)?;
             let (kind, issue) = self.next_command(p);
             return Some(Candidate { queue_idx: i, issue, kind });
         }
@@ -224,6 +220,11 @@ impl Channel {
                     .next_wr
                     .max(Cycle::new((rd_data_end + t.t_rtrs).as_u64().saturating_sub(t.t_cwl)));
                 self.stats.n_rd += 1;
+                match p.priority {
+                    Priority::Demand => self.stats.n_rd_demand += 1,
+                    Priority::Prefetch => self.stats.n_rd_prefetch += 1,
+                    Priority::Writeback => {}
+                }
                 self.record(at, CommandKind::Read, p.bank, p.row);
                 let finish = at + t.t_cl + t.t_burst();
                 self.finish_request(cand.queue_idx, finish, out);
@@ -287,8 +288,7 @@ impl Channel {
         loop {
             let cand = self.best_candidate();
             let next_issue = cand.map(|c| c.issue);
-            let ref_due = self.next_ref <= t
-                && next_issue.is_none_or(|i| self.next_ref <= i);
+            let ref_due = self.next_ref <= t && next_issue.is_none_or(|i| self.next_ref <= i);
             if ref_due {
                 self.do_refresh();
                 continue;

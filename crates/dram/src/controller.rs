@@ -46,11 +46,7 @@ impl MemoryController {
             "the static page-segment mapping requires {} channels",
             planaria_common::NUM_CHANNELS
         );
-        Self {
-            channels: (0..cfg.channels).map(|_| Channel::new(cfg)).collect(),
-            next_id: 0,
-            cfg,
-        }
+        Self { channels: (0..cfg.channels).map(|_| Channel::new(cfg)).collect(), next_id: 0, cfg }
     }
 
     /// The controller's configuration.
@@ -131,10 +127,7 @@ impl MemoryController {
     /// each channel's background and power-down windows are charged
     /// correctly.
     pub fn energy_pj(&self, duration_cycles: u64) -> f64 {
-        self.channels
-            .iter()
-            .map(|ch| ch.stats.energy_pj(&self.cfg.energy, duration_cycles))
-            .sum()
+        self.channels.iter().map(|ch| ch.stats.energy_pj(&self.cfg.energy, duration_cycles)).sum()
     }
 
     /// Clears accumulated command counters on every channel (e.g. after a
@@ -306,8 +299,7 @@ mod tests {
             PhysAddr::new(17 * PAGE_SIZE),
         ];
         let run = |sched| {
-            let mut mc =
-                MemoryController::new(DramConfig::lpddr4().with_scheduler(sched));
+            let mut mc = MemoryController::new(DramConfig::lpddr4().with_scheduler(sched));
             let ids: Vec<RequestId> = addrs
                 .iter()
                 .map(|&a| mc.try_enqueue(a, false, Priority::Demand, Cycle::ZERO).expect("room"))
@@ -390,13 +382,11 @@ mod tests {
         // Alternating rows in the same bank: closed-page saves the PRE
         // from the critical path of every second access.
         let run = |policy| {
-            let mut mc =
-                MemoryController::new(DramConfig::lpddr4().with_page_policy(policy));
+            let mut mc = MemoryController::new(DramConfig::lpddr4().with_page_policy(policy));
             for i in 0..8u64 {
                 // Rows alternate: 0, 16 pages apart (same bank, diff row).
                 let addr = PhysAddr::new((i % 2) * 16 * PAGE_SIZE + (i / 2) * BLOCK_SIZE);
-                mc.try_enqueue(addr, false, Priority::Demand, Cycle::new(i * 500))
-                    .expect("room");
+                mc.try_enqueue(addr, false, Priority::Demand, Cycle::new(i * 500)).expect("room");
                 mc.advance_to(Cycle::new(i * 500));
             }
             mc.drain().last().expect("nonempty").finish
@@ -407,6 +397,25 @@ mod tests {
             closed <= open,
             "closed-page must not lose on a pure conflict pattern: {closed:?} vs {open:?}"
         );
+    }
+
+    #[test]
+    fn reads_split_by_priority() {
+        let mut mc = MemoryController::new(DramConfig::lpddr4());
+        for i in 0..12u64 {
+            let prio = if i % 3 == 0 { Priority::Demand } else { Priority::Prefetch };
+            mc.try_enqueue(PhysAddr::new(i * BLOCK_SIZE), false, prio, Cycle::new(i * 50))
+                .expect("room");
+        }
+        mc.try_enqueue(PhysAddr::new(13 * BLOCK_SIZE), true, Priority::Writeback, Cycle::ZERO)
+            .expect("room");
+        mc.drain();
+        let s = mc.stats();
+        assert_eq!(s.n_rd, 12);
+        assert_eq!(s.n_rd_demand, 4);
+        assert_eq!(s.n_rd_prefetch, 8);
+        assert_eq!(s.n_rd_demand + s.n_rd_prefetch, s.n_rd, "split partitions reads");
+        assert_eq!(s.n_wr, 1, "writebacks are writes, never in the read split");
     }
 
     #[test]

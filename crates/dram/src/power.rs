@@ -71,6 +71,13 @@ pub struct DramStats {
     pub n_pre: u64,
     /// Column reads issued.
     pub n_rd: u64,
+    /// Column reads that serviced a demand-priority request. Counted at
+    /// command execution, so a request enqueued before a stats reset but
+    /// read after it lands in the post-reset bucket — exactly matching
+    /// what `n_rd` itself does across a reset.
+    pub n_rd_demand: u64,
+    /// Column reads that serviced a prefetch-priority request.
+    pub n_rd_prefetch: u64,
     /// Column writes issued.
     pub n_wr: u64,
     /// All-bank refreshes issued.
@@ -119,6 +126,8 @@ impl DramStats {
         self.n_act += other.n_act;
         self.n_pre += other.n_pre;
         self.n_rd += other.n_rd;
+        self.n_rd_demand += other.n_rd_demand;
+        self.n_rd_prefetch += other.n_rd_prefetch;
         self.n_wr += other.n_wr;
         self.n_ref += other.n_ref;
         self.powerdown_cycles += other.powerdown_cycles;
@@ -187,8 +196,10 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = DramStats { n_act: 1, n_rd: 2, last_finish: Cycle::new(50), ..DramStats::default() };
-        let b = DramStats { n_act: 3, n_wr: 4, last_finish: Cycle::new(90), ..DramStats::default() };
+        let mut a =
+            DramStats { n_act: 1, n_rd: 2, last_finish: Cycle::new(50), ..DramStats::default() };
+        let b =
+            DramStats { n_act: 3, n_wr: 4, last_finish: Cycle::new(90), ..DramStats::default() };
         a.merge(&b);
         assert_eq!(a.n_act, 4);
         assert_eq!(a.n_rd, 2);

@@ -42,12 +42,8 @@ pub enum PrefetcherKind {
 
 impl PrefetcherKind {
     /// The four configurations of Figures 7, 8 and 10.
-    pub const FIGURE_SET: [PrefetcherKind; 4] = [
-        PrefetcherKind::None,
-        PrefetcherKind::Bop,
-        PrefetcherKind::Spp,
-        PrefetcherKind::Planaria,
-    ];
+    pub const FIGURE_SET: [PrefetcherKind; 4] =
+        [PrefetcherKind::None, PrefetcherKind::Bop, PrefetcherKind::Spp, PrefetcherKind::Planaria];
 
     /// Builds a fresh prefetcher instance.
     pub fn build(self) -> Box<dyn Prefetcher> {
@@ -113,20 +109,21 @@ pub fn run_app(app: AppId, kind: PrefetcherKind, length: usize) -> SimResult {
 }
 
 /// Runs a set of prefetchers over one app's trace (trace built once).
+///
+/// Thin single-threaded wrapper over [`crate::runner::Runner`]; use the
+/// runner directly for multi-threaded batches.
 pub fn run_app_suite(app: AppId, kinds: &[PrefetcherKind], length: usize) -> Vec<SimResult> {
-    let trace = apps::profile(app).scaled(length).build();
-    kinds.iter().map(|&k| run_trace(&trace, k)).collect()
+    let jobs = kinds.iter().map(|&k| crate::runner::Job::grid_cell(app, k, length)).collect();
+    crate::runner::Runner::serial().run(jobs).into_results()
 }
 
 /// The full evaluation grid: every Table 2 app × the given prefetchers.
 ///
 /// Results are grouped per app in `kinds` order — the shape every figure
-/// harness consumes.
+/// harness consumes. Thin single-threaded wrapper over
+/// [`crate::runner::Runner::run_grid`].
 pub fn run_grid(kinds: &[PrefetcherKind], length: usize) -> Vec<Vec<SimResult>> {
-    AppId::ALL
-        .iter()
-        .map(|&app| run_app_suite(app, kinds, length))
-        .collect()
+    crate::runner::Runner::serial().run_grid(kinds, length).into_rows(kinds.len())
 }
 
 /// Geometric-mean helper for "average over apps" rows (ratios average
@@ -197,7 +194,8 @@ mod tests {
 
     #[test]
     fn suite_shares_one_trace() {
-        let rs = run_app_suite(AppId::Hi3, &[PrefetcherKind::None, PrefetcherKind::Planaria], 5_000);
+        let rs =
+            run_app_suite(AppId::Hi3, &[PrefetcherKind::None, PrefetcherKind::Planaria], 5_000);
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[0].accesses, rs[1].accesses);
     }

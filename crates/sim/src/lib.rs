@@ -41,8 +41,11 @@
 pub mod experiment;
 pub mod ipc;
 mod metrics;
+pub mod runner;
 mod system;
 pub mod table;
 
+pub use experiment::PrefetcherKind;
 pub use metrics::{DeviceStat, SimResult, TrafficBreakdown};
+pub use runner::{Cell, Job, ProgressEvent, RunReport, Runner, TraceSource};
 pub use system::{GovernorConfig, MemorySystem, SystemConfig};

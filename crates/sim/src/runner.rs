@@ -1,0 +1,446 @@
+//! The parallel experiment engine.
+//!
+//! Every figure in the paper is a grid of independent simulations
+//! (application × prefetcher × configuration), and each cell is a pure
+//! function of its inputs — so the grid fans out across OS threads with
+//! no change in results. This module provides:
+//!
+//! * [`Job`] — one simulation cell: a trace source, a prefetcher factory,
+//!   a [`SystemConfig`] and a warmup fraction.
+//! * [`Runner`] — executes a batch of jobs on `std::thread::scope`
+//!   workers (no external thread-pool dependency), building each distinct
+//!   `(app, length)` trace exactly once and sharing it via `Arc<Trace>`.
+//! * [`RunReport`] — per-cell wall-clock timings plus batch-level
+//!   observability: slowest cell, total simulated cycles, simulation
+//!   throughput.
+//!
+//! Determinism: workers claim jobs from an atomic counter, so the
+//! *schedule* varies run to run, but each cell simulates in isolation on
+//! an identical trace and results land in a slot indexed by job order —
+//! the output is bit-identical to a serial run regardless of thread
+//! count (`tests/parallel_engine.rs` asserts this).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use planaria_core::Prefetcher;
+use planaria_trace::apps::{self, AppId};
+use planaria_trace::Trace;
+
+use crate::{MemorySystem, PrefetcherKind, SimResult, SystemConfig};
+
+/// Where a job's input trace comes from.
+#[derive(Clone)]
+pub enum TraceSource {
+    /// Synthesise the Table 2 app at `length` accesses. Traces are cached
+    /// per `(app, length)` across the batch and built exactly once.
+    App {
+        /// The application to synthesise.
+        app: AppId,
+        /// Trace length in accesses.
+        length: usize,
+    },
+    /// A caller-prepared trace, shared by reference.
+    Shared(Arc<Trace>),
+}
+
+/// Builds a fresh prefetcher instance inside a worker thread.
+pub type PrefetcherFactory = Box<dyn Fn() -> Box<dyn Prefetcher> + Send + Sync>;
+
+/// One simulation cell of an experiment grid.
+pub struct Job {
+    /// Display label (progress lines, [`Cell::label`], slowest-cell report).
+    pub label: String,
+    /// The input trace.
+    pub source: TraceSource,
+    /// Full-system configuration.
+    pub config: SystemConfig,
+    /// Warmup fraction forwarded to [`MemorySystem::run_with_warmup`].
+    pub warmup: f64,
+    factory: PrefetcherFactory,
+}
+
+impl Job {
+    /// A job running `kind` over `app`'s trace with Table 1 defaults.
+    pub fn grid_cell(app: AppId, kind: PrefetcherKind, length: usize) -> Self {
+        Self::new(
+            format!("{}/{}", apps::profile(app).abbr, kind.label()),
+            TraceSource::App { app, length },
+            kind,
+        )
+    }
+
+    /// A job with an explicit label and trace source.
+    pub fn new(label: impl Into<String>, source: TraceSource, kind: PrefetcherKind) -> Self {
+        Self::with_factory(label, source, Box::new(move || kind.build()))
+    }
+
+    /// A job with a custom prefetcher factory (ablations with non-default
+    /// prefetcher configurations).
+    pub fn with_factory(
+        label: impl Into<String>,
+        source: TraceSource,
+        factory: PrefetcherFactory,
+    ) -> Self {
+        Self { label: label.into(), source, config: SystemConfig::default(), warmup: 0.0, factory }
+    }
+
+    /// Replaces the system configuration.
+    pub fn config(mut self, cfg: SystemConfig) -> Self {
+        self.config = cfg;
+        self
+    }
+
+    /// Sets the warmup fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` is not within `0.0..1.0`.
+    pub fn warmup(mut self, warmup: f64) -> Self {
+        assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
+        self.warmup = warmup;
+        self
+    }
+}
+
+/// A progress sample from a running cell.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressEvent<'a> {
+    /// Index of the job within the batch.
+    pub job: usize,
+    /// Number of jobs in the batch.
+    pub total: usize,
+    /// The job's label.
+    pub label: &'a str,
+    /// Accesses simulated so far in this cell.
+    pub done: usize,
+    /// Total accesses in this cell's trace.
+    pub trace_len: usize,
+    /// Cumulative SC demand hit rate so far
+    /// ([`MemorySystem::interim_hit_rate`]).
+    pub hit_rate: f64,
+}
+
+type ProgressFn = Arc<dyn Fn(ProgressEvent<'_>) + Send + Sync>;
+
+/// Builds each distinct `(app, length)` trace exactly once for the batch.
+///
+/// The outer mutex only guards slot lookup; the (expensive) synthesis runs
+/// outside it under the slot's own `OnceLock`, so two workers needing
+/// *different* traces build concurrently while two needing the *same*
+/// trace share one build.
+struct TraceCache {
+    slots: Mutex<HashMap<(AppId, usize), TraceSlot>>,
+    builds: AtomicUsize,
+}
+
+/// A lazily-built shared trace; cloned out of the cache map so synthesis
+/// runs without holding the map lock.
+type TraceSlot = Arc<OnceLock<Arc<Trace>>>;
+
+impl TraceCache {
+    fn new() -> Self {
+        Self { slots: Mutex::new(HashMap::new()), builds: AtomicUsize::new(0) }
+    }
+
+    fn get(&self, app: AppId, length: usize) -> Arc<Trace> {
+        let slot =
+            self.slots.lock().expect("trace-cache lock").entry((app, length)).or_default().clone();
+        slot.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(apps::profile(app).scaled(length).build())
+        })
+        .clone()
+    }
+}
+
+/// One finished cell of a [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The job's label.
+    pub label: String,
+    /// Wall-clock time this cell took (build-shared-trace time excluded
+    /// for cache hits, included for the one builder).
+    pub wall: Duration,
+    /// The simulation result.
+    pub result: SimResult,
+}
+
+/// Results plus batch observability, cells in job-submission order.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Finished cells, in the order jobs were submitted (independent of
+    /// worker scheduling).
+    pub cells: Vec<Cell>,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Distinct `(app, length)` traces synthesised.
+    pub trace_builds: usize,
+}
+
+impl RunReport {
+    /// The cell that took the longest wall-clock time.
+    pub fn slowest(&self) -> Option<&Cell> {
+        self.cells.iter().max_by_key(|c| c.wall)
+    }
+
+    /// Total simulated memory-system cycles across all cells.
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.cells.iter().map(|c| c.result.duration_cycles).sum()
+    }
+
+    /// Simulation throughput: simulated cycles per wall-clock second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total_sim_cycles() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// A one-paragraph summary for harness stderr output.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} cells on {} thread{} in {:.2?} ({:.1}M sim-cycles/s, {} trace build{})",
+            self.cells.len(),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.wall,
+            self.sim_cycles_per_sec() / 1e6,
+            self.trace_builds,
+            if self.trace_builds == 1 { "" } else { "s" },
+        );
+        if let Some(slow) = self.slowest() {
+            s.push_str(&format!("; slowest cell {} at {:.2?}", slow.label, slow.wall));
+        }
+        s
+    }
+
+    /// Consumes the report into bare results, job order preserved.
+    pub fn into_results(self) -> Vec<SimResult> {
+        self.cells.into_iter().map(|c| c.result).collect()
+    }
+
+    /// Consumes the report into rows of `width` results — the
+    /// per-app grouping every figure harness consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count is not a multiple of `width`.
+    pub fn into_rows(self, width: usize) -> Vec<Vec<SimResult>> {
+        assert!(width > 0 && self.cells.len().is_multiple_of(width), "cells must tile into rows");
+        let mut rows = Vec::with_capacity(self.cells.len() / width);
+        let mut iter = self.cells.into_iter().map(|c| c.result);
+        while let Some(first) = iter.next() {
+            let mut row = Vec::with_capacity(width);
+            row.push(first);
+            for _ in 1..width {
+                row.push(iter.next().expect("length checked"));
+            }
+            rows.push(row);
+        }
+        rows
+    }
+}
+
+/// Executes batches of [`Job`]s across worker threads.
+pub struct Runner {
+    threads: usize,
+    progress: Option<ProgressFn>,
+    progress_every: usize,
+}
+
+impl Runner {
+    /// A runner with an explicit worker count (`0` is clamped to 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1), progress: None, progress_every: 50_000 }
+    }
+
+    /// A single-threaded runner (what the serial `experiment::*`
+    /// wrappers use).
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// The worker count this runner will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Installs a progress callback, invoked from worker threads every
+    /// [`Runner::progress_every`] simulated accesses of each cell.
+    pub fn with_progress(mut self, f: impl Fn(ProgressEvent<'_>) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(f));
+        self
+    }
+
+    /// Sets the progress sampling interval in accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn progress_every(mut self, every: usize) -> Self {
+        assert!(every > 0, "progress interval must be positive");
+        self.progress_every = every;
+        self
+    }
+
+    /// Runs the full evaluation grid (every Table 2 app × `kinds`), cells
+    /// in app-major order; [`RunReport::into_rows`]`(kinds.len())` yields
+    /// the per-app grouping of [`crate::experiment::run_grid`].
+    pub fn run_grid(&self, kinds: &[PrefetcherKind], length: usize) -> RunReport {
+        let jobs: Vec<Job> = AppId::ALL
+            .iter()
+            .flat_map(|&app| kinds.iter().map(move |&k| Job::grid_cell(app, k, length)))
+            .collect();
+        self.run(jobs)
+    }
+
+    /// Runs a batch of jobs; the report's cells are in submission order
+    /// regardless of which worker finished which cell when.
+    pub fn run(&self, jobs: Vec<Job>) -> RunReport {
+        let started = Instant::now();
+        let total = jobs.len();
+        let cache = TraceCache::new();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Cell>> = (0..total).map(|_| OnceLock::new()).collect();
+        let workers = self.threads.min(total.max(1));
+
+        let work = |_worker: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
+            }
+            let job = &jobs[i];
+            let t0 = Instant::now();
+            let trace = match &job.source {
+                TraceSource::App { app, length } => cache.get(*app, *length),
+                TraceSource::Shared(t) => Arc::clone(t),
+            };
+            let sys = MemorySystem::new(job.config, (job.factory)());
+            let result = match &self.progress {
+                Some(cb) => sys.run_observed(
+                    &trace,
+                    job.warmup,
+                    self.progress_every,
+                    &mut |done, hit_rate| {
+                        cb(ProgressEvent {
+                            job: i,
+                            total,
+                            label: &job.label,
+                            done,
+                            trace_len: trace.len(),
+                            hit_rate,
+                        })
+                    },
+                ),
+                None => sys.run_with_warmup(&trace, job.warmup),
+            };
+            let cell = Cell { label: job.label.clone(), wall: t0.elapsed(), result };
+            slots[i].set(cell).expect("each job index claimed once");
+        };
+
+        if workers <= 1 {
+            work(0);
+        } else {
+            std::thread::scope(|scope| {
+                let work = &work;
+                for w in 0..workers {
+                    scope.spawn(move || work(w));
+                }
+            });
+        }
+
+        RunReport {
+            cells: slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("all jobs completed"))
+                .collect(),
+            wall: started.elapsed(),
+            threads: workers,
+            trace_builds: cache.builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_rows_and_helpers() {
+        let runner = Runner::serial();
+        let kinds = [PrefetcherKind::None, PrefetcherKind::NextLine];
+        let report = runner.run(vec![
+            Job::grid_cell(AppId::Cfm, kinds[0], 2_000),
+            Job::grid_cell(AppId::Cfm, kinds[1], 2_000),
+        ]);
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.trace_builds, 1, "one app, one trace");
+        assert!(report.slowest().is_some());
+        assert!(report.total_sim_cycles() > 0);
+        assert!(report.summary().contains("2 cells"));
+        let rows = report.into_rows(2);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].prefetcher, "None");
+    }
+
+    #[test]
+    fn shared_source_skips_cache() {
+        let trace = Arc::new(apps::profile(AppId::Hi3).scaled(1_000).build());
+        let report = Runner::new(2).run(vec![
+            Job::new("a", TraceSource::Shared(Arc::clone(&trace)), PrefetcherKind::None),
+            Job::new("b", TraceSource::Shared(trace), PrefetcherKind::NextLine),
+        ]);
+        assert_eq!(report.trace_builds, 0);
+        assert_eq!(report.cells[0].label, "a");
+        assert_eq!(report.cells[1].label, "b");
+    }
+
+    #[test]
+    fn progress_callback_fires_in_order_per_cell() {
+        let samples = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&samples);
+        let runner = Runner::serial().progress_every(500).with_progress(move |e| {
+            sink.lock().unwrap().push((e.job, e.done, e.hit_rate));
+        });
+        let report = runner.run(vec![Job::grid_cell(AppId::Qsm, PrefetcherKind::None, 2_000)]);
+        assert_eq!(report.cells.len(), 1);
+        let samples = samples.lock().unwrap();
+        assert_eq!(samples.len(), 4, "2000 accesses / every 500");
+        assert!(samples.windows(2).all(|w| w[0].1 < w[1].1), "monotone progress");
+        assert!(samples.iter().all(|s| (0.0..=1.0).contains(&s.2)));
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved() {
+        let trace = Arc::new(apps::profile(AppId::Fort).scaled(3_000).build());
+        let quiet = Runner::serial().run(vec![Job::new(
+            "q",
+            TraceSource::Shared(Arc::clone(&trace)),
+            PrefetcherKind::Planaria,
+        )]);
+        let observed = Runner::serial()
+            .progress_every(100)
+            .with_progress(|_| {})
+            .run(vec![Job::new("o", TraceSource::Shared(trace), PrefetcherKind::Planaria)]);
+        assert_eq!(quiet.cells[0].result, observed.cells[0].result);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup fraction")]
+    fn job_rejects_bad_warmup() {
+        let _ = Job::grid_cell(AppId::Cfm, PrefetcherKind::None, 100).warmup(1.0);
+    }
+}

@@ -210,8 +210,7 @@ impl MemorySystem {
         };
         // Waiting demands pay the residual memory latency.
         for w in &entry.waiters {
-            self.latency_sum +=
-                (self.cfg.sc_hit_latency + c.finish.since(*w)) as f64;
+            self.latency_sum += (self.cfg.sc_hit_latency + c.finish.since(*w)) as f64;
         }
         // A prefetch nobody consumed fills speculatively; anything a demand
         // waited on fills as a demand line.
@@ -250,9 +249,7 @@ impl MemorySystem {
             self.writebacks_dropped += 1;
             return;
         }
-        self.dram
-            .try_enqueue(addr, true, Priority::Writeback, now)
-            .expect("room checked");
+        self.dram.try_enqueue(addr, true, Priority::Writeback, now).expect("room checked");
     }
 
     /// Feeds one demand access through the system.
@@ -270,8 +267,7 @@ impl MemorySystem {
         // prefetcher exactly like a miss would (the standard
         // "prefetched hit" trigger) — without it, a chain of next-line
         // prefetches would stall after every successful step.
-        let covered_hit =
-            matches!(result, AccessResult::Hit { first_use_of_prefetch: None });
+        let covered_hit = matches!(result, AccessResult::Hit { first_use_of_prefetch: None });
         match result {
             AccessResult::Hit { .. } => {
                 self.latency_sum += self.cfg.sc_hit_latency as f64;
@@ -338,9 +334,7 @@ impl MemorySystem {
 
         // Drain staged prefetches into whatever channel room exists.
         while let Some(req) = self.next_issuable() {
-            self.dram
-                .try_enqueue(req.addr, false, Priority::Prefetch, now)
-                .expect("room checked");
+            self.dram.try_enqueue(req.addr, false, Priority::Prefetch, now).expect("room checked");
             self.inflight.insert(
                 req.addr.block_number(),
                 Inflight { origin: Some(req.origin), waiters: Vec::new(), wrote: false },
@@ -356,33 +350,19 @@ impl MemorySystem {
     fn next_issuable(&mut self) -> Option<PrefetchRequest> {
         loop {
             let head = self.queue.pop()?;
-            if self.sc.contains(head.addr)
-                || self.inflight.contains_key(&head.addr.block_number())
+            if self.sc.contains(head.addr) || self.inflight.contains_key(&head.addr.block_number())
             {
                 continue; // stale: already present or being fetched
             }
             if self.dram.has_room_for(head.addr) {
                 return Some(head);
             }
-            let _ = self.queue_push_front(head);
+            // Head keeps its place: it was just popped, so neither the
+            // dedup set nor the capacity bound can reject it.
+            let restored = self.queue.push_front(head);
+            debug_assert!(restored, "re-staged head must be accepted");
             return None;
         }
-    }
-
-    /// Re-inserts a popped request at the front (internal helper).
-    fn queue_push_front(&mut self, req: PrefetchRequest) -> bool {
-        // PrefetchQueue has no push_front; emulate by draining. The queue
-        // is small (≤64), so this stays cheap and keeps dedup intact.
-        let mut rest = Vec::with_capacity(self.queue.len() + 1);
-        rest.push(req);
-        while let Some(r) = self.queue.pop() {
-            rest.push(r);
-        }
-        let mut ok = true;
-        for r in rest {
-            ok &= self.queue.push(r);
-        }
-        ok
     }
 
     /// Runs a whole trace and finalises the result.
@@ -398,16 +378,62 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if `warmup` is not within `0.0..1.0`.
-    pub fn run_with_warmup(mut self, trace: &planaria_trace::Trace, warmup: f64) -> SimResult {
+    pub fn run_with_warmup(self, trace: &planaria_trace::Trace, warmup: f64) -> SimResult {
         assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
+        self.run_with_warmup_parts(trace, warmup).0
+    }
+
+    /// Like [`MemorySystem::run_with_warmup`], but invokes `observe` with
+    /// `(accesses_processed, interim_hit_rate)` every `every` accesses —
+    /// the hook the parallel [`crate::runner::Runner`] uses for live
+    /// progress reporting. Observation never perturbs the simulation, so
+    /// observed and unobserved runs produce identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` is not within `0.0..1.0` or `every` is zero.
+    pub fn run_observed(
+        self,
+        trace: &planaria_trace::Trace,
+        warmup: f64,
+        every: usize,
+        observe: &mut dyn FnMut(usize, f64),
+    ) -> SimResult {
+        assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
+        assert!(every > 0, "observation interval must be positive");
+        self.run_core(trace, warmup, every, Some(observe)).0
+    }
+
+    /// [`MemorySystem::run_with_warmup`] plus the final DRAM command
+    /// counters (tests assert the read stream partitions exactly).
+    fn run_with_warmup_parts(
+        self,
+        trace: &planaria_trace::Trace,
+        warmup: f64,
+    ) -> (SimResult, planaria_dram::DramStats) {
+        self.run_core(trace, warmup, usize::MAX, None)
+    }
+
+    fn run_core(
+        mut self,
+        trace: &planaria_trace::Trace,
+        warmup: f64,
+        every: usize,
+        mut observe: Option<&mut dyn FnMut(usize, f64)>,
+    ) -> (SimResult, planaria_dram::DramStats) {
         let skip = (trace.len() as f64 * warmup) as usize;
         for (i, a) in trace.iter().enumerate() {
             if i == skip && skip > 0 {
                 self.reset_metrics();
             }
             self.process(a);
+            if let Some(cb) = observe.as_deref_mut() {
+                if (i + 1) % every == 0 {
+                    cb(i + 1, self.interim_hit_rate());
+                }
+            }
         }
-        self.finish(trace.name())
+        self.finish_parts(trace.name())
     }
 
     /// Zeroes every accumulated metric while keeping microarchitectural
@@ -415,6 +441,15 @@ impl MemorySystem {
     fn reset_metrics(&mut self) {
         self.sc.reset_stats();
         self.dram.reset_stats();
+        // Demand waiters from before the boundary must not pay their
+        // residual fill latency into the post-boundary `latency_sum` —
+        // their arrivals were discarded with `demand_count`, so charging
+        // the latency alone would inflate steady-state AMAT. The fills
+        // themselves still land correctly: merged demand entries already
+        // carry `origin: None` and keep their `wrote` flag.
+        for entry in self.inflight.values_mut() {
+            entry.waiters.clear();
+        }
         self.latency_sum = 0.0;
         self.demand_count = 0;
         self.late_prefetches = 0;
@@ -427,7 +462,11 @@ impl MemorySystem {
     }
 
     /// Drains all outstanding work and produces the result record.
-    pub fn finish(mut self, workload: &str) -> SimResult {
+    pub fn finish(self, workload: &str) -> SimResult {
+        self.finish_parts(workload).0
+    }
+
+    fn finish_parts(mut self, workload: &str) -> (SimResult, planaria_dram::DramStats) {
         // Issue whatever prefetches still fit, then let DRAM finish.
         while let Some(req) = self.next_issuable() {
             self.dram
@@ -451,20 +490,23 @@ impl MemorySystem {
             .max(self.last_cycle)
             .since(self.first_cycle.unwrap_or(Cycle::ZERO))
             .max(1);
-        let demand_reads = dram.n_rd - self.prefetches_issued.min(dram.n_rd);
+        // The DRAM channels split `n_rd` by request priority at command
+        // execution, so the breakdown is exact even when requests straddle
+        // a warmup stats reset (the old derivation subtracted
+        // `prefetches_issued`, which counts *enqueues* — a clamped,
+        // sometimes double-subtracting approximation).
+        debug_assert_eq!(dram.n_rd, dram.n_rd_demand + dram.n_rd_prefetch);
+        let demand_reads = dram.n_rd_demand;
         let dram_energy = self.dram.energy_pj(duration);
         let sc_energy = (cache.demand_accesses() + cache.demand_fills + cache.prefetch_fills)
             as f64
             * self.cfg.sc_access_pj;
         let pf_energy = self.prefetcher.table_accesses() as f64 * self.cfg.table_access_pj;
         let total_energy = dram_energy + sc_energy + pf_energy;
-        let amat = if self.demand_count == 0 {
-            0.0
-        } else {
-            self.latency_sum / self.demand_count as f64
-        };
+        let amat =
+            if self.demand_count == 0 { 0.0 } else { self.latency_sum / self.demand_count as f64 };
 
-        SimResult {
+        let result = SimResult {
             workload: workload.to_string(),
             prefetcher: self.prefetcher.name().to_string(),
             accesses: self.demand_count,
@@ -472,7 +514,7 @@ impl MemorySystem {
             amat_cycles: amat,
             traffic: TrafficBreakdown {
                 demand_reads,
-                prefetch_reads: self.prefetches_issued,
+                prefetch_reads: dram.n_rd_prefetch,
                 writebacks: dram.n_wr,
             },
             useful_prefetches: cache.useful_prefetches,
@@ -502,7 +544,8 @@ impl MemorySystem {
                     hits,
                 })
                 .collect(),
-        }
+        };
+        (result, dram)
     }
 }
 
@@ -573,8 +616,7 @@ mod tests {
     #[test]
     fn null_prefetcher_issues_nothing() {
         let sys = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()));
-        let accesses: Vec<MemAccess> =
-            (0..100).map(|i| read(i * 64, i * 200)).collect();
+        let accesses: Vec<MemAccess> = (0..100).map(|i| read(i * 64, i * 200)).collect();
         let r = sys.run(&Trace::new("t", accesses));
         assert_eq!(r.traffic.prefetch_reads, 0);
         assert_eq!(r.useful_prefetches, 0);
@@ -586,8 +628,7 @@ mod tests {
     fn next_line_converts_stream_misses_into_hits() {
         let mk = |pf: Box<dyn Prefetcher>| {
             let sys = MemorySystem::new(SystemConfig::default(), pf);
-            let accesses: Vec<MemAccess> =
-                (0..2000u64).map(|i| read(i * 64, i * 300)).collect();
+            let accesses: Vec<MemAccess> = (0..2000u64).map(|i| read(i * 64, i * 300)).collect();
             sys.run(&Trace::new("stream", accesses))
         };
         let none = mk(Box::new(NullPrefetcher::new()));
@@ -605,9 +646,8 @@ mod tests {
             use rand::rngs::StdRng;
             use rand::{Rng, SeedableRng};
             let mut rng = StdRng::seed_from_u64(3);
-            let accesses: Vec<MemAccess> = (0..60_000u64)
-                .map(|i| read(rng.gen_range(0..1u64 << 22) * 64, i * 100))
-                .collect();
+            let accesses: Vec<MemAccess> =
+                (0..60_000u64).map(|i| read(rng.gen_range(0..1u64 << 22) * 64, i * 100)).collect();
             Trace::new("rand", accesses)
         };
         let free = MemorySystem::new(
@@ -619,8 +659,8 @@ mod tests {
             governor: Some(GovernorConfig { interval: 2_000, ..GovernorConfig::default() }),
             ..SystemConfig::default()
         };
-        let governed = MemorySystem::new(cfg, Box::new(planaria_baselines::NextLine::new()))
-            .run(&trace);
+        let governed =
+            MemorySystem::new(cfg, Box::new(planaria_baselines::NextLine::new())).run(&trace);
         assert!(
             governed.traffic.prefetch_reads * 3 < free.traffic.prefetch_reads,
             "governor barely helped: {} vs {}",
@@ -634,8 +674,7 @@ mod tests {
     fn governor_leaves_accurate_prefetchers_alone() {
         // A sequential stream: next-line accuracy ~1.0; the governor must
         // never gate it.
-        let accesses: Vec<MemAccess> =
-            (0..50_000u64).map(|i| read(i * 64, i * 200)).collect();
+        let accesses: Vec<MemAccess> = (0..50_000u64).map(|i| read(i * 64, i * 200)).collect();
         let trace = Trace::new("stream", accesses);
         let cfg = SystemConfig {
             governor: Some(GovernorConfig { interval: 2_000, ..GovernorConfig::default() }),
@@ -646,26 +685,71 @@ mod tests {
             Box::new(planaria_baselines::NextLine::new()),
         )
         .run(&trace);
-        let governed = MemorySystem::new(cfg, Box::new(planaria_baselines::NextLine::new()))
-            .run(&trace);
+        let governed =
+            MemorySystem::new(cfg, Box::new(planaria_baselines::NextLine::new())).run(&trace);
         assert!((governed.hit_rate - free.hit_rate).abs() < 0.01);
         assert_eq!(governed.traffic.prefetch_reads, free.traffic.prefetch_reads);
     }
 
     #[test]
     fn warmup_discards_cold_misses() {
-        let accesses: Vec<MemAccess> = (0..200u64)
-            .map(|i| read((i % 100) * 64, i * 5_000))
-            .collect();
+        let accesses: Vec<MemAccess> =
+            (0..200u64).map(|i| read((i % 100) * 64, i * 5_000)).collect();
         let trace = Trace::new("w", accesses);
-        let cold = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()))
-            .run(&trace);
+        let cold =
+            MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new())).run(&trace);
         let warm = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()))
             .run_with_warmup(&trace, 0.5);
         // First half is all cold misses; the measured half is all hits.
         assert!((cold.hit_rate - 0.5).abs() < 1e-9, "cold {}", cold.hit_rate);
         assert!((warm.hit_rate - 1.0).abs() < 1e-9, "warm {}", warm.hit_rate);
         assert_eq!(warm.accesses, 100);
+    }
+
+    #[test]
+    fn warmup_boundary_does_not_leak_waiter_latency() {
+        // Two reads of one block, the second while the fill is still in
+        // flight, with the warmup boundary between them. The pre-boundary
+        // waiter's residual latency must not be charged to the single
+        // post-boundary access: before the fix its ~memory-latency charge
+        // landed in `latency_sum` while `demand_count` had been reset,
+        // roughly doubling the measured AMAT.
+        let trace = Trace::new("t", vec![read(0x0000, 0), read(0x0000, 1)]);
+        let cold =
+            MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new())).run(&trace);
+        let warm = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()))
+            .run_with_warmup(&trace, 0.5);
+        assert_eq!(warm.accesses, 1);
+        assert!(
+            warm.amat_cycles < 1.5 * cold.amat_cycles,
+            "residual warmup latency leaked: warm {} vs cold {}",
+            warm.amat_cycles,
+            cold.amat_cycles
+        );
+    }
+
+    #[test]
+    fn read_traffic_partitions_exactly() {
+        // demand_reads + prefetch_reads must equal the DRAM read-command
+        // count exactly — with and without a warmup reset, and with a
+        // prefetcher generating speculative traffic that straddles the
+        // boundary.
+        let accesses: Vec<MemAccess> = (0..5_000u64).map(|i| read(i * 64, i * 120)).collect();
+        let trace = Trace::new("stream", accesses);
+        for warmup in [0.0, 0.4] {
+            let sys = MemorySystem::new(
+                SystemConfig::default(),
+                Box::new(planaria_baselines::NextLine::new()),
+            );
+            let (r, dram) = sys.run_with_warmup_parts(&trace, warmup);
+            assert_eq!(
+                r.traffic.demand_reads + r.traffic.prefetch_reads,
+                dram.n_rd,
+                "read split must partition n_rd (warmup {warmup})"
+            );
+            assert!(r.traffic.prefetch_reads > 0, "prefetcher was active");
+            assert_eq!(r.traffic.writebacks, dram.n_wr);
+        }
     }
 
     #[test]

@@ -19,9 +19,7 @@
 
 use planaria_common::DeviceId;
 
-use crate::synth::{
-    Envelope, FootprintSpec, NeighborSpec, RandomSpec, StrideSpec, StreamSpec,
-};
+use crate::synth::{Envelope, FootprintSpec, NeighborSpec, RandomSpec, StreamSpec, StrideSpec};
 use crate::{ComponentSpec, WorkloadSpec};
 
 /// Identifiers for the ten Table 2 applications.
@@ -177,20 +175,140 @@ fn mix(app: AppId) -> MixParams {
         // SLP-dominated apps: large revisited footprint pools (well beyond
         // the 4 MB SC, so revisits are capacity misses), very stable
         // snapshots, small one-shot-neighbour share.
-        Cfm => MixParams { footprint_w: 0.70, neighbor_w: 0.05, stream_w: 0.08, stride_w: 0.05, random_w: 0.12, pool_pages: 6144, mutation_prob: 0.30, mutation_bits: 2, cluster_span: 8, noise_bits: 1, random_pages: 1 << 14 },
-        Qsm => MixParams { footprint_w: 0.66, neighbor_w: 0.06, stream_w: 0.10, stride_w: 0.06, random_w: 0.12, pool_pages: 6144, mutation_prob: 0.40, mutation_bits: 2, cluster_span: 8, noise_bits: 1, random_pages: 1 << 14 },
-        Hi3 => MixParams { footprint_w: 0.72, neighbor_w: 0.05, stream_w: 0.06, stride_w: 0.05, random_w: 0.12, pool_pages: 6144, mutation_prob: 0.25, mutation_bits: 2, cluster_span: 8, noise_bits: 1, random_pages: 1 << 14 },
-        Ko => MixParams { footprint_w: 0.62, neighbor_w: 0.08, stream_w: 0.08, stride_w: 0.05, random_w: 0.17, pool_pages: 8192, mutation_prob: 0.50, mutation_bits: 2, cluster_span: 12, noise_bits: 1, random_pages: 1 << 14 },
-        Nba2 => MixParams { footprint_w: 0.56, neighbor_w: 0.05, stream_w: 0.05, stride_w: 0.05, random_w: 0.29, pool_pages: 10240, mutation_prob: 0.60, mutation_bits: 2, cluster_span: 8, noise_bits: 1, random_pages: 1 << 14 },
+        Cfm => MixParams {
+            footprint_w: 0.70,
+            neighbor_w: 0.05,
+            stream_w: 0.08,
+            stride_w: 0.05,
+            random_w: 0.12,
+            pool_pages: 6144,
+            mutation_prob: 0.30,
+            mutation_bits: 2,
+            cluster_span: 8,
+            noise_bits: 1,
+            random_pages: 1 << 14,
+        },
+        Qsm => MixParams {
+            footprint_w: 0.66,
+            neighbor_w: 0.06,
+            stream_w: 0.10,
+            stride_w: 0.06,
+            random_w: 0.12,
+            pool_pages: 6144,
+            mutation_prob: 0.40,
+            mutation_bits: 2,
+            cluster_span: 8,
+            noise_bits: 1,
+            random_pages: 1 << 14,
+        },
+        Hi3 => MixParams {
+            footprint_w: 0.72,
+            neighbor_w: 0.05,
+            stream_w: 0.06,
+            stride_w: 0.05,
+            random_w: 0.12,
+            pool_pages: 6144,
+            mutation_prob: 0.25,
+            mutation_bits: 2,
+            cluster_span: 8,
+            noise_bits: 1,
+            random_pages: 1 << 14,
+        },
+        Ko => MixParams {
+            footprint_w: 0.62,
+            neighbor_w: 0.08,
+            stream_w: 0.08,
+            stride_w: 0.05,
+            random_w: 0.17,
+            pool_pages: 8192,
+            mutation_prob: 0.50,
+            mutation_bits: 2,
+            cluster_span: 12,
+            noise_bits: 1,
+            random_pages: 1 << 14,
+        },
+        Nba2 => MixParams {
+            footprint_w: 0.56,
+            neighbor_w: 0.05,
+            stream_w: 0.05,
+            stride_w: 0.05,
+            random_w: 0.29,
+            pool_pages: 10240,
+            mutation_prob: 0.60,
+            mutation_bits: 2,
+            cluster_span: 8,
+            noise_bits: 1,
+            random_pages: 1 << 14,
+        },
         // Mixed apps.
-        HoK => MixParams { footprint_w: 0.62, neighbor_w: 0.08, stream_w: 0.08, stride_w: 0.05, random_w: 0.17, pool_pages: 8192, mutation_prob: 0.50, mutation_bits: 2, cluster_span: 16, noise_bits: 1, random_pages: 1 << 14 },
-        IdV => MixParams { footprint_w: 0.57, neighbor_w: 0.11, stream_w: 0.08, stride_w: 0.05, random_w: 0.19, pool_pages: 8192, mutation_prob: 0.60, mutation_bits: 2, cluster_span: 16, noise_bits: 1, random_pages: 1 << 14 },
-        TikT => MixParams { footprint_w: 0.64, neighbor_w: 0.08, stream_w: 0.08, stride_w: 0.05, random_w: 0.15, pool_pages: 10240, mutation_prob: 0.80, mutation_bits: 2, cluster_span: 16, noise_bits: 1, random_pages: 1 << 14 },
+        HoK => MixParams {
+            footprint_w: 0.62,
+            neighbor_w: 0.08,
+            stream_w: 0.08,
+            stride_w: 0.05,
+            random_w: 0.17,
+            pool_pages: 8192,
+            mutation_prob: 0.50,
+            mutation_bits: 2,
+            cluster_span: 16,
+            noise_bits: 1,
+            random_pages: 1 << 14,
+        },
+        IdV => MixParams {
+            footprint_w: 0.57,
+            neighbor_w: 0.11,
+            stream_w: 0.08,
+            stride_w: 0.05,
+            random_w: 0.19,
+            pool_pages: 8192,
+            mutation_prob: 0.60,
+            mutation_bits: 2,
+            cluster_span: 16,
+            noise_bits: 1,
+            random_pages: 1 << 14,
+        },
+        TikT => MixParams {
+            footprint_w: 0.64,
+            neighbor_w: 0.08,
+            stream_w: 0.08,
+            stride_w: 0.05,
+            random_w: 0.15,
+            pool_pages: 10240,
+            mutation_prob: 0.80,
+            mutation_bits: 2,
+            cluster_span: 16,
+            noise_bits: 1,
+            random_pages: 1 << 14,
+        },
         // TLP-dominated: mostly one-shot neighbouring pages, SLP has little
         // history to work with.
-        Fort => MixParams { footprint_w: 0.15, neighbor_w: 0.55, stream_w: 0.08, stride_w: 0.05, random_w: 0.17, pool_pages: 4096, mutation_prob: 0.90, mutation_bits: 3, cluster_span: 24, noise_bits: 1, random_pages: 1 << 14 },
+        Fort => MixParams {
+            footprint_w: 0.15,
+            neighbor_w: 0.55,
+            stream_w: 0.08,
+            stride_w: 0.05,
+            random_w: 0.17,
+            pool_pages: 4096,
+            mutation_prob: 0.90,
+            mutation_bits: 3,
+            cluster_span: 24,
+            noise_bits: 1,
+            random_pages: 1 << 14,
+        },
         // Irregular-heavy: BOP's extra traffic backfires here (Figure 7/8).
-        Pm => MixParams { footprint_w: 0.52, neighbor_w: 0.10, stream_w: 0.04, stride_w: 0.05, random_w: 0.29, pool_pages: 10240, mutation_prob: 0.70, mutation_bits: 2, cluster_span: 12, noise_bits: 1, random_pages: 1 << 14 },
+        Pm => MixParams {
+            footprint_w: 0.52,
+            neighbor_w: 0.10,
+            stream_w: 0.04,
+            stride_w: 0.05,
+            random_w: 0.29,
+            pool_pages: 10240,
+            mutation_prob: 0.70,
+            mutation_bits: 2,
+            cluster_span: 12,
+            noise_bits: 1,
+            random_pages: 1 << 14,
+        },
     }
 }
 

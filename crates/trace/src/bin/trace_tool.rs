@@ -36,11 +36,8 @@ fn load(path: &Path) -> Result<Trace, String> {
     let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace").to_string();
     let file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
     let reader = BufReader::new(file);
-    let result = if is_binary(path) {
-        io::read_binary(name, reader)
-    } else {
-        io::read_text(name, reader)
-    };
+    let result =
+        if is_binary(path) { io::read_binary(name, reader) } else { io::read_text(name, reader) };
     result.map_err(|e| format!("parse {}: {e}", path.display()))
 }
 

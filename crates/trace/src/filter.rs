@@ -137,10 +137,8 @@ mod tests {
 
     #[test]
     fn repeated_blocks_are_filtered() {
-        let raw = Trace::new(
-            "raw",
-            (0..10).map(|i| read(0x1000, i * 10, DeviceId::Cpu(0))).collect(),
-        );
+        let raw =
+            Trace::new("raw", (0..10).map(|i| read(0x1000, i * 10, DeviceId::Cpu(0))).collect());
         let f = filter_trace(&raw, FilterConfig::default());
         assert_eq!(f.len(), 1, "only the compulsory miss survives");
         assert!(f.name().contains("filtered"));
@@ -148,10 +146,8 @@ mod tests {
 
     #[test]
     fn distinct_blocks_pass_through() {
-        let raw = Trace::new(
-            "raw",
-            (0..64u64).map(|i| read(i * 64, i * 10, DeviceId::Cpu(0))).collect(),
-        );
+        let raw =
+            Trace::new("raw", (0..64u64).map(|i| read(i * 64, i * 10, DeviceId::Cpu(0))).collect());
         let f = filter_trace(&raw, FilterConfig::default());
         assert_eq!(f.len(), 64);
         assert_eq!(f.accesses(), raw.accesses());
@@ -184,7 +180,11 @@ mod tests {
         let blocks = [0u64, 64, 128, 0, 64, 128];
         let raw = Trace::new(
             "raw",
-            blocks.iter().enumerate().map(|(i, &b)| read(b, i as u64 * 10, DeviceId::Cpu(0))).collect(),
+            blocks
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| read(b, i as u64 * 10, DeviceId::Cpu(0)))
+                .collect(),
         );
         let f = filter_trace(&raw, cfg);
         assert_eq!(f.len(), 6, "thrashing filter passes everything");
@@ -192,13 +192,8 @@ mod tests {
 
     #[test]
     fn filtering_preserves_order_and_fields() {
-        let raw = Trace::new(
-            "raw",
-            vec![
-                read(0x0, 5, DeviceId::Cpu(1)),
-                read(0x40, 6, DeviceId::Dsp),
-            ],
-        );
+        let raw =
+            Trace::new("raw", vec![read(0x0, 5, DeviceId::Cpu(1)), read(0x40, 6, DeviceId::Dsp)]);
         let f = filter_trace(&raw, FilterConfig::default());
         assert_eq!(f.accesses(), raw.accesses());
     }

@@ -194,8 +194,7 @@ pub fn read_binary<R: Read>(name: impl Into<String>, mut r: R) -> Result<Trace, 
     let mut accesses = Vec::with_capacity(count);
     let mut rec = [0u8; RECORD_SIZE];
     for i in 0..count {
-        r.read_exact(&mut rec)
-            .map_err(|e| ParseTraceError::Binary(format!("record {i}: {e}")))?;
+        r.read_exact(&mut rec).map_err(|e| ParseTraceError::Binary(format!("record {i}: {e}")))?;
         let addr = PhysAddr::new(u64::from_le_bytes(rec[..8].try_into().expect("sized slice")));
         let cycle = Cycle::new(u64::from_le_bytes(rec[8..16].try_into().expect("sized slice")));
         let kind = match rec[16] {
@@ -203,8 +202,9 @@ pub fn read_binary<R: Read>(name: impl Into<String>, mut r: R) -> Result<Trace, 
             1 => AccessKind::Write,
             k => return Err(ParseTraceError::Binary(format!("record {i}: bad kind {k}"))),
         };
-        let device = decode_device(rec[17])
-            .ok_or_else(|| ParseTraceError::Binary(format!("record {i}: bad device {}", rec[17])))?;
+        let device = decode_device(rec[17]).ok_or_else(|| {
+            ParseTraceError::Binary(format!("record {i}: bad device {}", rec[17]))
+        })?;
         accesses.push(MemAccess::new(addr, kind, device, cycle));
     }
     Ok(Trace::new(name, accesses))
@@ -219,9 +219,24 @@ mod tests {
         Trace::new(
             "sample",
             vec![
-                MemAccess::new(PhysAddr::new(0x1000), AccessKind::Read, DeviceId::Cpu(2), Cycle::new(5)),
-                MemAccess::new(PhysAddr::new(0x2040), AccessKind::Write, DeviceId::Gpu, Cycle::new(9)),
-                MemAccess::new(PhysAddr::new(0x30c0), AccessKind::Read, DeviceId::Dsp, Cycle::new(14)),
+                MemAccess::new(
+                    PhysAddr::new(0x1000),
+                    AccessKind::Read,
+                    DeviceId::Cpu(2),
+                    Cycle::new(5),
+                ),
+                MemAccess::new(
+                    PhysAddr::new(0x2040),
+                    AccessKind::Write,
+                    DeviceId::Gpu,
+                    Cycle::new(9),
+                ),
+                MemAccess::new(
+                    PhysAddr::new(0x30c0),
+                    AccessKind::Read,
+                    DeviceId::Dsp,
+                    Cycle::new(14),
+                ),
             ],
         )
     }

@@ -85,9 +85,8 @@ impl FootprintSpec {
         assert!(self.page_spread > 0, "page_spread must be positive");
         let mut rng = rng_for(seed, 0x0F00);
         // Per-page stable snapshots.
-        let mut snapshots: Vec<Bitmap64> = (0..self.pages)
-            .map(|_| random_footprint(&mut rng, self.footprint_blocks))
-            .collect();
+        let mut snapshots: Vec<Bitmap64> =
+            (0..self.pages).map(|_| random_footprint(&mut rng, self.footprint_blocks)).collect();
 
         let mut clock = Cycle::ZERO;
         let mut emitted = 0usize;
@@ -179,15 +178,12 @@ mod tests {
             ..FootprintSpec::default()
         };
         let out = gen(&spec, 4 * 8 * 5); // five full rounds
-        // Each page's set of blocks must be identical across visits.
+                                         // Each page's set of blocks must be identical across visits.
         let mut per_page: HashMap<u64, Bitmap64> = HashMap::new();
         let mut counts: HashMap<u64, usize> = HashMap::new();
         for a in &out {
             let p = a.addr.page().as_u64();
-            per_page
-                .entry(p)
-                .or_insert(Bitmap64::EMPTY)
-                .set(a.addr.block_index().as_usize());
+            per_page.entry(p).or_insert(Bitmap64::EMPTY).set(a.addr.block_index().as_usize());
             *counts.entry(p).or_default() += 1;
         }
         for (p, bm) in per_page {

@@ -23,7 +23,7 @@ mod simple;
 
 pub use footprint::FootprintSpec;
 pub use neighbor::NeighborSpec;
-pub use simple::{RandomSpec, StrideSpec, StreamSpec};
+pub use simple::{RandomSpec, StreamSpec, StrideSpec};
 
 use planaria_common::{AccessKind, Cycle, DeviceId, MemAccess, PageNum};
 use rand::rngs::StdRng;
@@ -103,13 +103,7 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Creates an empty spec; add components with [`WorkloadSpec::with`].
     pub fn new(name: impl Into<String>, abbr: impl Into<String>, seed: u64, length: usize) -> Self {
-        Self {
-            name: name.into(),
-            abbr: abbr.into(),
-            seed,
-            length,
-            components: Vec::new(),
-        }
+        Self { name: name.into(), abbr: abbr.into(), seed, length, components: Vec::new() }
     }
 
     /// Adds a weighted component (builder style).

@@ -5,7 +5,9 @@
 //! They are what the delta-based baselines (BOP, SPP, next-line) are built
 //! for — and what irregular traffic punishes them with.
 
-use planaria_common::{Cycle, MemAccess, PageNum, PhysAddr, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE};
+use planaria_common::{
+    Cycle, MemAccess, PageNum, PhysAddr, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE,
+};
 use rand::Rng;
 
 use super::{emit, rng_for, sample_gap, Envelope};
@@ -54,8 +56,7 @@ impl StreamSpec {
         // Runs are spread across the region; each run gets its own page span.
         let pages_per_run = (self.run_blocks as u64 / BLOCKS_PER_PAGE as u64) + 2;
         'outer: loop {
-            let start =
-                region_base.as_u64() * PAGE_SIZE + run_idx * pages_per_run * PAGE_SIZE;
+            let start = region_base.as_u64() * PAGE_SIZE + run_idx * pages_per_run * PAGE_SIZE;
             run_idx += 1;
             for b in 0..self.run_blocks {
                 let addr = PhysAddr::new(start + b as u64 * BLOCK_SIZE);
@@ -121,8 +122,7 @@ impl StrideSpec {
             let start = region_base.as_u64() * PAGE_SIZE + run_idx * pages_per_run * PAGE_SIZE;
             run_idx += 1;
             for i in 0..self.run_len {
-                let addr =
-                    PhysAddr::new(start + (i * self.stride_blocks) as u64 * BLOCK_SIZE);
+                let addr = PhysAddr::new(start + (i * self.stride_blocks) as u64 * BLOCK_SIZE);
                 emit(out, &mut rng, &self.envelope, addr, &mut clock, self.gap);
                 emitted += 1;
                 if emitted >= count {
@@ -206,8 +206,7 @@ mod tests {
         let spec = StreamSpec { run_blocks: 10, ..StreamSpec::default() };
         let mut out = Vec::new();
         spec.generate(1, 50, PageNum::new(1 << 24), &mut out);
-        let unique: std::collections::HashSet<u64> =
-            out.iter().map(|a| a.addr.as_u64()).collect();
+        let unique: std::collections::HashSet<u64> = out.iter().map(|a| a.addr.as_u64()).collect();
         assert_eq!(unique.len(), 50, "runs reused addresses");
     }
 

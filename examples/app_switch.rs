@@ -24,19 +24,17 @@ fn main() {
     // Shift the second app after the first and merge.
     let offset = first.duration() + 10_000;
     let mut accesses: Vec<MemAccess> = first.accesses().to_vec();
-    accesses.extend(second.iter().map(|a| MemAccess {
-        cycle: Cycle::new(a.cycle.as_u64() + offset),
-        ..*a
-    }));
-    let combined = Trace::new("HoK→TikT", accesses);
-    println!(
-        "Simulating an app switch: {} accesses of HoK, then {} of TikT...\n",
-        half, half
+    accesses.extend(
+        second.iter().map(|a| MemAccess { cycle: Cycle::new(a.cycle.as_u64() + offset), ..*a }),
     );
+    let combined = Trace::new("HoK→TikT", accesses);
+    println!("Simulating an app switch: {} accesses of HoK, then {} of TikT...\n", half, half);
 
     // Run the combined trace, sampling the hit rate in windows.
-    let mut system =
-        MemorySystem::new(SystemConfig::default(), Box::new(Planaria::default()) as Box<dyn Prefetcher>);
+    let mut system = MemorySystem::new(
+        SystemConfig::default(),
+        Box::new(Planaria::default()) as Box<dyn Prefetcher>,
+    );
     let window = combined.len() / 10;
     let mut t = TextTable::new(["progress", "phase", "cumulative hit rate"]);
     let mut rows = Vec::new();

@@ -57,10 +57,8 @@ fn main() {
     let trace = profile(AppId::IdV).scaled(200_000).build();
     println!("Racing a custom prefetcher against Planaria on {}...\n", trace.name());
 
-    let contenders: Vec<Box<dyn Prefetcher>> = vec![
-        Box::new(PageBurst { degree: 3, accesses: 0 }),
-        Box::new(Planaria::default()),
-    ];
+    let contenders: Vec<Box<dyn Prefetcher>> =
+        vec![Box::new(PageBurst { degree: 3, accesses: 0 }), Box::new(Planaria::default())];
 
     let mut t = TextTable::new(["prefetcher", "hit rate", "AMAT", "accuracy", "pf issued"]);
     for pf in contenders {

@@ -17,8 +17,8 @@ fn big_pool() -> FootprintSpec {
 
 #[test]
 fn planaria_beats_no_prefetcher_on_footprint_traffic() {
-    let spec = WorkloadSpec::new("fp", "fp", 3, LEN)
-        .with(1.0, ComponentSpec::Footprint(big_pool()));
+    let spec =
+        WorkloadSpec::new("fp", "fp", 3, LEN).with(1.0, ComponentSpec::Footprint(big_pool()));
     let trace = spec.build();
     let none = run_trace(&trace, PrefetcherKind::None);
     let planaria = run_trace(&trace, PrefetcherKind::Planaria);
@@ -34,17 +34,13 @@ fn planaria_beats_no_prefetcher_on_footprint_traffic() {
         planaria.amat_cycles,
         none.amat_cycles
     );
-    assert!(
-        planaria.prefetch_accuracy > 0.6,
-        "accuracy {:.3}",
-        planaria.prefetch_accuracy
-    );
+    assert!(planaria.prefetch_accuracy > 0.6, "accuracy {:.3}", planaria.prefetch_accuracy);
 }
 
 #[test]
 fn slp_dominates_on_revisited_footprints() {
-    let spec = WorkloadSpec::new("fp", "fp", 3, LEN)
-        .with(1.0, ComponentSpec::Footprint(big_pool()));
+    let spec =
+        WorkloadSpec::new("fp", "fp", 3, LEN).with(1.0, ComponentSpec::Footprint(big_pool()));
     let trace = spec.build();
     let planaria = run_trace(&trace, PrefetcherKind::Planaria);
     assert!(

@@ -8,6 +8,7 @@
 //! correspondingly wider than the 1 M-access EXPERIMENTS.md numbers.
 
 use planaria_sim::experiment::{mean, run_app_suite, PrefetcherKind};
+use planaria_sim::runner::{Job, Runner};
 use planaria_trace::apps::AppId;
 
 const LEN: usize = 400_000;
@@ -32,8 +33,15 @@ fn collect() -> Deltas {
         planaria_power: Vec::new(),
         planaria_accuracy: Vec::new(),
     };
-    for app in APPS {
-        let rs = run_app_suite(app, &PrefetcherKind::FIGURE_SET, LEN);
+    // One parallel batch over the whole (app × prefetcher) grid — results
+    // are bit-identical to the serial path (tests/parallel_engine.rs), so
+    // the bands below are thread-count independent.
+    let jobs: Vec<Job> = APPS
+        .iter()
+        .flat_map(|&app| PrefetcherKind::FIGURE_SET.map(|k| Job::grid_cell(app, k, LEN)))
+        .collect();
+    let rows = Runner::auto().run(jobs).into_rows(PrefetcherKind::FIGURE_SET.len());
+    for rs in rows {
         let (none, bop, _spp, planaria) = (&rs[0], &rs[1], &rs[2], &rs[3]);
         d.amat_vs_none.push(planaria.amat_delta(none));
         d.bop_traffic.push(bop.traffic_delta(none));
@@ -75,10 +83,7 @@ fn headline_shapes_hold() {
         "Planaria power overhead {planaria_power:+.3} must stay near zero"
     );
     let bop_power = mean(d.bop_power.iter().copied());
-    assert!(
-        bop_power > 0.08,
-        "BOP power overhead {bop_power:+.3} lost its penalty"
-    );
+    assert!(bop_power > 0.08, "BOP power overhead {bop_power:+.3} lost its penalty");
 
     let acc = mean(d.planaria_accuracy.iter().copied());
     assert!(acc > 0.75, "Planaria accuracy {acc:.3} fell below its design point");

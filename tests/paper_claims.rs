@@ -64,16 +64,10 @@ fn observation2_learnable_fraction_grows_with_distance() {
 fn fort_has_the_highest_neighbour_fraction() {
     // Fort's TLP dominance (Figure 9) is rooted in its trace: it must be
     // the most neighbour-rich app.
-    let fort = learnable_fraction(&profile(AppId::Fort).scaled(LEN).build(), 64)
-        .learnable_fraction;
+    let fort = learnable_fraction(&profile(AppId::Fort).scaled(LEN).build(), 64).learnable_fraction;
     for app in [AppId::Cfm, AppId::Hi3, AppId::Nba2] {
-        let other =
-            learnable_fraction(&profile(app).scaled(LEN).build(), 64).learnable_fraction;
-        assert!(
-            fort > other,
-            "Fort ({fort:.3}) must out-neighbour {} ({other:.3})",
-            app.abbr()
-        );
+        let other = learnable_fraction(&profile(app).scaled(LEN).build(), 64).learnable_fraction;
+        assert!(fort > other, "Fort ({fort:.3}) must out-neighbour {} ({other:.3})", app.abbr());
     }
 }
 

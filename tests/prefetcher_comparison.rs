@@ -2,7 +2,11 @@
 //! each traffic class has a known "right" prefetcher, and the simulator
 //! must rank them accordingly.
 
-use planaria_sim::experiment::{run_trace, PrefetcherKind};
+use std::sync::Arc;
+
+use planaria_sim::experiment::PrefetcherKind;
+use planaria_sim::runner::{Job, Runner, TraceSource};
+use planaria_sim::SimResult;
 use planaria_trace::synth::{FootprintSpec, RandomSpec, StreamSpec, StrideSpec};
 use planaria_trace::{ComponentSpec, Trace, WorkloadSpec};
 
@@ -10,6 +14,17 @@ const LEN: usize = 350_000;
 
 fn single(name: &str, spec: ComponentSpec) -> Trace {
     WorkloadSpec::new(name, name, 11, LEN).with(1.0, spec).build()
+}
+
+/// Runs every kind over one shared trace on the parallel engine, results
+/// in `kinds` order.
+fn run_all(trace: Trace, kinds: &[PrefetcherKind]) -> Vec<SimResult> {
+    let trace = Arc::new(trace);
+    let jobs = kinds
+        .iter()
+        .map(|&k| Job::new(k.label(), TraceSource::Shared(Arc::clone(&trace)), k))
+        .collect();
+    Runner::auto().run(jobs).into_results()
 }
 
 /// A footprint pool in the paper's regime: working set (~6 MB) beyond the
@@ -21,9 +36,11 @@ fn paper_footprint() -> FootprintSpec {
 #[test]
 fn streaming_favours_delta_prefetchers() {
     let trace = single("stream", ComponentSpec::Stream(StreamSpec::default()));
-    let none = run_trace(&trace, PrefetcherKind::None);
-    let nl = run_trace(&trace, PrefetcherKind::NextLine);
-    let bop = run_trace(&trace, PrefetcherKind::Bop);
+    let [none, nl, bop] =
+        &run_all(trace, &[PrefetcherKind::None, PrefetcherKind::NextLine, PrefetcherKind::Bop])[..]
+    else {
+        unreachable!("three kinds in, three results out")
+    };
     assert!(nl.hit_rate > none.hit_rate + 0.3, "next-line on stream: {:.3}", nl.hit_rate);
     assert!(bop.hit_rate > none.hit_rate + 0.3, "BOP on stream: {:.3}", bop.hit_rate);
     assert!(nl.prefetch_accuracy > 0.85);
@@ -35,8 +52,9 @@ fn strided_traffic_favours_bop_over_next_line() {
         "stride4",
         ComponentSpec::Stride(StrideSpec { stride_blocks: 4, ..StrideSpec::default() }),
     );
-    let nl = run_trace(&trace, PrefetcherKind::NextLine);
-    let bop = run_trace(&trace, PrefetcherKind::Bop);
+    let [nl, bop] = &run_all(trace, &[PrefetcherKind::NextLine, PrefetcherKind::Bop])[..] else {
+        unreachable!("two kinds in, two results out")
+    };
     // Next-line prefetches X+1, which a stride-4 walk never touches.
     assert!(
         bop.hit_rate > nl.hit_rate + 0.2,
@@ -50,10 +68,9 @@ fn strided_traffic_favours_bop_over_next_line() {
 #[test]
 fn shuffled_footprints_defeat_delta_prefetchers_but_not_planaria() {
     let trace = single("fp", ComponentSpec::Footprint(paper_footprint()));
-    let none = run_trace(&trace, PrefetcherKind::None);
-    let bop = run_trace(&trace, PrefetcherKind::Bop);
-    let spp = run_trace(&trace, PrefetcherKind::Spp);
-    let planaria = run_trace(&trace, PrefetcherKind::Planaria);
+    let [none, bop, spp, planaria] = &run_all(trace, &PrefetcherKind::FIGURE_SET)[..] else {
+        unreachable!("four kinds in, four results out")
+    };
     // Planaria converts revisits into hits; the delta engines mostly can't.
     assert!(
         planaria.hit_rate > bop.hit_rate + 0.15,
@@ -75,17 +92,20 @@ fn shuffled_footprints_defeat_delta_prefetchers_but_not_planaria() {
 #[test]
 fn random_traffic_punishes_aggressive_prefetchers() {
     let trace = single("rand", ComponentSpec::Random(RandomSpec::default()));
-    let none = run_trace(&trace, PrefetcherKind::None);
-    let nl = run_trace(&trace, PrefetcherKind::NextLine);
-    let planaria = run_trace(&trace, PrefetcherKind::Planaria);
+    let [none, nl, planaria] = &run_all(
+        trace,
+        &[PrefetcherKind::None, PrefetcherKind::NextLine, PrefetcherKind::Planaria],
+    )[..] else {
+        unreachable!("three kinds in, three results out")
+    };
     // Next-line fires on every miss with near-zero accuracy: pure traffic.
-    assert!(nl.traffic_delta(&none) > 0.5, "next-line traffic {:+.3}", nl.traffic_delta(&none));
+    assert!(nl.traffic_delta(none) > 0.5, "next-line traffic {:+.3}", nl.traffic_delta(none));
     assert!(nl.prefetch_accuracy < 0.1);
     // Planaria stays quiet: no stable footprints, no similar neighbours.
     assert!(
-        planaria.traffic_delta(&none) < 0.1,
+        planaria.traffic_delta(none) < 0.1,
         "planaria traffic {:+.3} on random",
-        planaria.traffic_delta(&none)
+        planaria.traffic_delta(none)
     );
 }
 
@@ -93,14 +113,14 @@ fn random_traffic_punishes_aggressive_prefetchers() {
 fn planaria_outperforms_its_halves_on_mixed_traffic() {
     let trace = WorkloadSpec::new("mix", "mix", 17, LEN)
         .with(0.6, ComponentSpec::Footprint(paper_footprint()))
-        .with(
-            0.4,
-            ComponentSpec::Neighbor(planaria_trace::synth::NeighborSpec::default()),
-        )
+        .with(0.4, ComponentSpec::Neighbor(planaria_trace::synth::NeighborSpec::default()))
         .build();
-    let slp = run_trace(&trace, PrefetcherKind::SlpOnly);
-    let tlp = run_trace(&trace, PrefetcherKind::TlpOnly);
-    let both = run_trace(&trace, PrefetcherKind::Planaria);
+    let [slp, tlp, both] = &run_all(
+        trace,
+        &[PrefetcherKind::SlpOnly, PrefetcherKind::TlpOnly, PrefetcherKind::Planaria],
+    )[..] else {
+        unreachable!("three kinds in, three results out")
+    };
     assert!(
         both.hit_rate >= slp.hit_rate - 1e-9,
         "composite {:.3} vs SLP {:.3}",

@@ -2,7 +2,7 @@
 //! the generator and the full simulator must uphold their invariants.
 
 use planaria_sim::experiment::{run_trace, PrefetcherKind};
-use planaria_trace::synth::{FootprintSpec, NeighborSpec, RandomSpec, StrideSpec, StreamSpec};
+use planaria_trace::synth::{FootprintSpec, NeighborSpec, RandomSpec, StreamSpec, StrideSpec};
 use planaria_trace::{ComponentSpec, WorkloadSpec};
 use proptest::prelude::*;
 

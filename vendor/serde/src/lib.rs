@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's crates expose an optional `serde` feature that only
+//! attaches `#[derive(serde::Serialize, serde::Deserialize)]` to value
+//! types; nothing in the repository serialises through serde at runtime.
+//! With crates.io unreachable, this crate supplies just enough surface for
+//! those annotations to compile: the two trait names plus no-op derive
+//! macros. Swap back to the real serde when a consumer actually needs
+//! (de)serialisation.
+
+#![forbid(unsafe_code)]
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! `#[derive(serde::Serialize)]` expands to nothing: the annotation
+//! compiles, no impl is generated, and nothing in this workspace requires
+//! one (the `serde` feature only decorates value types for downstream
+//! consumers that would bring the real serde).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
