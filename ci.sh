@@ -26,4 +26,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 step "cargo fmt --check"
 cargo fmt --all --check
 
+step "cargo doc (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 step "ci.sh: all green"

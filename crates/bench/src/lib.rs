@@ -11,7 +11,9 @@
 //! * `--threads <N>` — worker threads for the experiment grid (default:
 //!   all available cores);
 //! * `--progress` — live per-cell progress lines (interim hit rate) on
-//!   stderr.
+//!   stderr;
+//! * `--telemetry` — after each grid, print the batch's merged decision
+//!   and lifecycle counters (see `planaria_telemetry`) on stderr.
 //!
 //! Output is an aligned text table (one row per app plus an average row) —
 //! the faithful terminal rendering of the paper's bar charts. Grids run on
@@ -39,11 +41,19 @@ pub struct HarnessArgs {
     pub threads: Option<usize>,
     /// Emit live per-cell progress lines on stderr.
     pub progress: bool,
+    /// Print the merged telemetry counter table after each grid.
+    pub telemetry: bool,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        Self { len: Some(DEFAULT_LEN), apps: AppId::ALL.to_vec(), threads: None, progress: false }
+        Self {
+            len: Some(DEFAULT_LEN),
+            apps: AppId::ALL.to_vec(),
+            threads: None,
+            progress: false,
+            telemetry: false,
+        }
     }
 }
 
@@ -83,9 +93,11 @@ impl HarnessArgs {
                     out.threads = Some(n);
                 }
                 "--progress" => out.progress = true,
+                "--telemetry" => out.telemetry = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--len N | --full] [--apps CFM,HoK,...] [--threads N] [--progress]"
+                        "usage: [--len N | --full] [--apps CFM,HoK,...] [--threads N] \
+                         [--progress] [--telemetry]"
                     );
                     std::process::exit(0);
                 }
@@ -133,6 +145,7 @@ impl HarnessArgs {
     pub fn run_grid(&self, kinds: &[PrefetcherKind]) -> Vec<Vec<SimResult>> {
         let report = self.run_grid_report(kinds);
         eprintln!("  {}", report.summary());
+        self.maybe_print_telemetry(&report);
         report.into_rows(kinds.len())
     }
 
@@ -152,7 +165,19 @@ impl HarnessArgs {
     pub fn run_jobs(&self, jobs: Vec<Job>) -> Vec<SimResult> {
         let report = self.runner().run(jobs);
         eprintln!("  {}", report.summary());
+        self.maybe_print_telemetry(&report);
         report.into_results()
+    }
+
+    /// Prints the batch's merged telemetry counters on stderr when
+    /// `--telemetry` was given.
+    fn maybe_print_telemetry(&self, report: &RunReport) {
+        if self.telemetry {
+            eprintln!("  telemetry (merged over the batch):");
+            for line in report.telemetry().summary_table().lines() {
+                eprintln!("    {line}");
+            }
+        }
     }
 }
 
@@ -191,6 +216,12 @@ mod tests {
     }
 
     #[test]
+    fn parse_telemetry_flag() {
+        assert!(!HarnessArgs::parse(Vec::<String>::new()).telemetry);
+        assert!(HarnessArgs::parse(["--telemetry"].map(String::from)).telemetry);
+    }
+
+    #[test]
     fn parse_full_uses_paper_lengths() {
         let a = HarnessArgs::parse(["--full"].map(String::from));
         assert_eq!(a.len, None);
@@ -216,6 +247,7 @@ mod tests {
             apps: vec![AppId::Cfm, AppId::Hi3],
             threads: Some(2),
             progress: false,
+            telemetry: false,
         };
         let rows = a.run_grid(&[PrefetcherKind::None, PrefetcherKind::NextLine]);
         assert_eq!(rows.len(), 2);

@@ -54,6 +54,10 @@ pub struct EvictedLine {
     pub dirty: bool,
     /// Whether the victim was an unused prefetch (pollution).
     pub was_unused_prefetch: bool,
+    /// Which prefetcher filled the victim, if it entered the cache as a
+    /// prefetch — kept so pollution is attributable per sub-prefetcher.
+    /// `Some` even after a demand touch cleared `was_unused_prefetch`.
+    pub origin: Option<PrefetchOrigin>,
 }
 
 /// A set-associative, write-back, write-allocate cache model.
@@ -246,6 +250,7 @@ impl SetAssocCache {
                 addr: PhysAddr::new(victim_block * planaria_common::BLOCK_SIZE),
                 dirty: victim_line.dirty,
                 was_unused_prefetch: victim_line.prefetched,
+                origin: victim_line.origin,
             })
         } else {
             None

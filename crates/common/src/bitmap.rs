@@ -5,6 +5,25 @@
 //! Because a 4 KB page is channel-sliced into four 16-block segments, the
 //! per-channel hardware tables store [`Bitmap16`]; whole-page analyses (the
 //! Figure 4/5 experiments) use [`Bitmap64`].
+//!
+//! # Examples
+//!
+//! ```
+//! use planaria_common::Bitmap16;
+//!
+//! // A footprint snapshot: blocks 0, 2 and 5 of the segment were touched.
+//! let snapshot: Bitmap16 = [0usize, 2, 5].into_iter().collect();
+//! assert_eq!(snapshot.count(), 3);
+//!
+//! // On replay, blocks already covered by the current access are pruned
+//! // with set subtraction; `iter_set` yields what is left to prefetch.
+//! let already_seen = Bitmap16::EMPTY.with(2);
+//! let todo = snapshot.minus(already_seen);
+//! assert_eq!(todo.iter_set().collect::<Vec<_>>(), vec![0, 5]);
+//!
+//! // TLP's similarity test is bit overlap between two snapshots.
+//! assert_eq!(snapshot.overlap(already_seen), 1);
+//! ```
 
 use core::fmt;
 

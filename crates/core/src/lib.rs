@@ -38,6 +38,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 mod planaria;
 pub mod slp;
@@ -49,3 +50,7 @@ pub use planaria::{Planaria, PlanariaConfig};
 pub use slp::{PatternMerge, Slp, SlpConfig};
 pub use tlp::{Tlp, TlpConfig};
 pub use traits::{NullPrefetcher, Prefetcher};
+
+// Decision tracing: every instrumented prefetcher speaks these types (see
+// the `planaria_telemetry` crate docs for the event taxonomy).
+pub use planaria_telemetry::{Telemetry, TelemetryConfig, TelemetryReport};

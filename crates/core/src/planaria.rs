@@ -15,6 +15,9 @@
 //!   which is what the mobile power budget demands.
 
 use planaria_common::{MemAccess, PrefetchRequest, NUM_CHANNELS};
+use planaria_telemetry::{
+    ArbitrationWinner, EventData, EventKind, Telemetry, TelemetryConfig, TelemetryReport,
+};
 
 use crate::slp::ChannelSlp;
 use crate::tlp::ChannelTlp;
@@ -97,6 +100,7 @@ pub struct Planaria {
     cfg: PlanariaConfig,
     name: String,
     channels: Vec<ChannelPlanaria>,
+    tel: Telemetry,
 }
 
 impl Planaria {
@@ -118,6 +122,7 @@ impl Planaria {
                 .collect(),
             cfg,
             name,
+            tel: Telemetry::counting_only(),
         }
     }
 
@@ -144,24 +149,48 @@ impl Prefetcher for Planaria {
         let offset = access.addr.block_index().index_in_segment();
         let now = access.cycle;
         let c = &mut self.channels[ch];
+        let tel = &mut self.tel;
 
         // Learning phase: both sub-prefetchers see every access.
-        c.slp.learn(page, offset, now);
-        c.tlp.learn(page, offset, now);
+        c.slp.learn(page, offset, now, tel);
+        c.tlp.learn(page, offset, now, tel);
 
         // Issuing phase: serial selection, only on a demand miss.
         if hit {
             return;
         }
+        let slp_has_pattern = c.slp.has_pattern(page);
+        let winner = if self.cfg.parallel_issue {
+            match (self.cfg.enable_slp_issue, self.cfg.enable_tlp_issue) {
+                (true, true) => ArbitrationWinner::Both,
+                (true, false) => ArbitrationWinner::Slp,
+                (false, true) => ArbitrationWinner::Tlp,
+                (false, false) => ArbitrationWinner::None,
+            }
+        } else if self.cfg.enable_slp_issue && slp_has_pattern {
+            ArbitrationWinner::Slp
+        } else if self.cfg.enable_tlp_issue {
+            ArbitrationWinner::Tlp
+        } else {
+            ArbitrationWinner::None
+        };
+        let kind = match winner {
+            ArbitrationWinner::Slp => EventKind::ArbitrationSlp,
+            ArbitrationWinner::Tlp => EventKind::ArbitrationTlp,
+            ArbitrationWinner::Both => EventKind::ArbitrationBoth,
+            ArbitrationWinner::None => EventKind::ArbitrationNone,
+        };
+        tel.emit(kind, now, ch as u8, || EventData::Arbitration { page, winner, slp_has_pattern });
+
         let before = out.len();
         if self.cfg.parallel_issue {
             // Ablation: the parallel coordinator lets every sub-prefetcher
             // issue on every trigger.
             if self.cfg.enable_slp_issue {
-                c.slp.issue(page, offset, now, out);
+                c.slp.issue(page, offset, now, out, tel);
             }
             if self.cfg.enable_tlp_issue {
-                c.tlp.issue(page, offset, now, out);
+                c.tlp.issue(page, offset, now, out, tel);
             }
             out.truncate(before + self.cfg.max_degree);
             return;
@@ -169,10 +198,10 @@ impl Prefetcher for Planaria {
         // The selection rule prefers SLP whenever it has history for the
         // page, even if that history yields no new blocks to prefetch —
         // TLP is strictly the "no SLP metadata" fallback.
-        if self.cfg.enable_slp_issue && c.slp.has_pattern(page) {
-            c.slp.issue(page, offset, now, out);
-        } else if self.cfg.enable_tlp_issue {
-            c.tlp.issue(page, offset, now, out);
+        match winner {
+            ArbitrationWinner::Slp => c.slp.issue(page, offset, now, out, tel),
+            ArbitrationWinner::Tlp => c.tlp.issue(page, offset, now, out, tel),
+            _ => {}
         }
         out.truncate(before + self.cfg.max_degree);
     }
@@ -183,6 +212,18 @@ impl Prefetcher for Planaria {
 
     fn table_accesses(&self) -> u64 {
         self.channels.iter().map(|c| c.slp.table_accesses() + c.tlp.accesses).sum()
+    }
+
+    fn configure_telemetry(&mut self, cfg: &TelemetryConfig) {
+        self.tel = Telemetry::from_config(cfg);
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.tel)
+    }
+
+    fn telemetry_report(&mut self) -> Option<TelemetryReport> {
+        Some(self.tel.report())
     }
 }
 

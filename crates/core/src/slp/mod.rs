@@ -14,11 +14,12 @@ mod tables;
 use planaria_common::{
     Bitmap16, Cycle, MemAccess, PhysAddr, PrefetchOrigin, PrefetchRequest, NUM_CHANNELS,
 };
+use planaria_telemetry::{EventData, EventKind, Telemetry, TelemetryConfig, TelemetryReport};
 
 use crate::traits::Prefetcher;
 pub use tables::PatternMerge;
 pub(crate) use tables::FT_PROMOTE_COUNT;
-use tables::{AccumulationTable, FilterTable, PatternTable};
+use tables::{AccumulationTable, FilterTable, FtOutcome, PatternTable};
 
 /// SLP sizing parameters (per channel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,22 +80,43 @@ impl ChannelSlp {
     }
 
     /// Learning phase: observes (page, segment offset) at `now`.
-    pub(crate) fn learn(&mut self, page: u64, offset: usize, now: Cycle) {
+    pub(crate) fn learn(&mut self, page: u64, offset: usize, now: Cycle, tel: &mut Telemetry) {
+        let ch = self.segment as u8;
         // Step 4 first: expire finished snapshots into the PT.
         self.scratch.clear();
         self.at.sweep(now, &mut self.scratch);
         for i in 0..self.scratch.len() {
             let (p, bm) = self.scratch[i];
+            tel.emit(EventKind::SlpSnapshotCapture, now, ch, || EventData::SlpSnapshotCapture {
+                page: p,
+                bits: bm.bits(),
+            });
             self.pt.insert(p, bm);
         }
         // Step 1: accumulate if the page is already tracked.
         if self.at.record(page, offset, now) {
+            // Fires on nearly every access — counted, never materialised.
+            tel.count(EventKind::SlpAtAccumulate);
             return;
         }
         // Steps 2–3: filter, then promote after three distinct offsets.
-        if let Some(bitmap) = self.ft.record(page, offset, now) {
-            if let Some((spill_page, spill_bm)) = self.at.insert(page, bitmap, now) {
-                self.pt.insert(spill_page, spill_bm);
+        match self.ft.record(page, offset, now) {
+            FtOutcome::Allocated => {
+                tel.emit(EventKind::SlpFtAllocate, now, ch, || EventData::SlpFtAllocate { page });
+            }
+            FtOutcome::Recorded => tel.count(EventKind::SlpFtRecord),
+            FtOutcome::Promoted(bitmap) => {
+                tel.emit(EventKind::SlpFtPromote, now, ch, || EventData::SlpFtPromote {
+                    page,
+                    bits: bitmap.bits(),
+                });
+                if let Some((spill_page, spill_bm)) = self.at.insert(page, bitmap, now) {
+                    tel.emit(EventKind::SlpAtSpill, now, ch, || EventData::SlpAtSpill {
+                        page: spill_page,
+                        bits: spill_bm.bits(),
+                    });
+                    self.pt.insert(spill_page, spill_bm);
+                }
             }
         }
     }
@@ -113,6 +135,7 @@ impl ChannelSlp {
         offset: usize,
         triggered_at: Cycle,
         out: &mut Vec<PrefetchRequest>,
+        tel: &mut Telemetry,
     ) {
         let Some(pattern) = self.pt.lookup(page) else { return };
         // Blocks already accessed in this visit — tracked by the AT once
@@ -124,6 +147,11 @@ impl ChannelSlp {
             .unwrap_or(Bitmap16::EMPTY)
             .with(offset);
         let todo = pattern.minus(observed);
+        tel.emit(EventKind::SlpIssue, triggered_at, self.segment as u8, || EventData::SlpIssue {
+            page,
+            pattern: pattern.bits(),
+            issued: todo.bits(),
+        });
         let page_num = planaria_common::PageNum::new(page);
         for pos in todo.iter_set() {
             // `offset` is a segment-local position; reconstruct the block
@@ -156,6 +184,7 @@ fn addr_for(page: planaria_common::PageNum, segment: usize, pos: usize) -> PhysA
 pub struct Slp {
     cfg: SlpConfig,
     channels: Vec<ChannelSlp>,
+    tel: Telemetry,
 }
 
 impl Slp {
@@ -164,6 +193,7 @@ impl Slp {
         Self {
             channels: (0..NUM_CHANNELS).map(|s| ChannelSlp::new_for_segment(&cfg, s)).collect(),
             cfg,
+            tel: Telemetry::counting_only(),
         }
     }
 
@@ -198,9 +228,9 @@ impl Prefetcher for Slp {
         let page = access.addr.page().as_u64();
         let offset = access.addr.block_index().index_in_segment();
         let slp = &mut self.channels[ch];
-        slp.learn(page, offset, access.cycle);
+        slp.learn(page, offset, access.cycle, &mut self.tel);
         if !hit {
-            slp.issue(page, offset, access.cycle, out);
+            slp.issue(page, offset, access.cycle, out, &mut self.tel);
         }
     }
 
@@ -210,6 +240,18 @@ impl Prefetcher for Slp {
 
     fn table_accesses(&self) -> u64 {
         self.channels.iter().map(ChannelSlp::table_accesses).sum()
+    }
+
+    fn configure_telemetry(&mut self, cfg: &TelemetryConfig) {
+        self.tel = Telemetry::from_config(cfg);
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.tel)
+    }
+
+    fn telemetry_report(&mut self) -> Option<TelemetryReport> {
+        Some(self.tel.report())
     }
 }
 

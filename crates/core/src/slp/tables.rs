@@ -25,7 +25,7 @@ use planaria_common::{Bitmap16, Cycle};
 ///
 /// `Replace` is the paper's SLP. The other two transplant DSPatch's
 /// coverage-vs-accuracy bitmap duality (Bera et al., MICRO 2019 — the
-/// paper's reference [1]) into the PN-keyed setting: `Union` grows the
+/// paper's reference \[1\]) into the PN-keyed setting: `Union` grows the
 /// pattern toward coverage, `Intersect` shrinks it toward accuracy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -51,6 +51,31 @@ impl core::fmt::Display for PatternMerge {
 
 /// Number of distinct offsets an FT entry must record before promotion.
 pub(crate) const FT_PROMOTE_COUNT: usize = 3;
+
+/// What [`FilterTable::record`] did with an access — distinguished so the
+/// telemetry layer can count allocations, recordings and promotions
+/// separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FtOutcome {
+    /// The page had no FT entry; one was allocated.
+    Allocated,
+    /// An existing entry observed the access (offset new or repeated).
+    Recorded,
+    /// The entry reached [`FT_PROMOTE_COUNT`] distinct offsets and left the
+    /// FT carrying this bitmap.
+    Promoted(Bitmap16),
+}
+
+impl FtOutcome {
+    /// The promotion bitmap, if this access promoted the page.
+    #[cfg(test)]
+    pub(crate) fn promoted(self) -> Option<Bitmap16> {
+        match self {
+            FtOutcome::Promoted(bm) => Some(bm),
+            _ => None,
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct FtEntry {
@@ -85,9 +110,10 @@ impl FilterTable {
         self.map.len()
     }
 
-    /// Records `offset` (0..16) for `page`; returns the three-offset bitmap
-    /// when the entry reaches the promotion threshold (and removes it).
-    pub(crate) fn record(&mut self, page: u64, offset: usize, now: Cycle) -> Option<Bitmap16> {
+    /// Records `offset` (0..16) for `page`; the outcome carries the
+    /// three-offset bitmap when the entry reaches the promotion threshold
+    /// (which also removes it from the table).
+    pub(crate) fn record(&mut self, page: u64, offset: usize, now: Cycle) -> FtOutcome {
         self.accesses += 1;
         self.sweep(now);
         match self.map.get_mut(&page) {
@@ -100,10 +126,10 @@ impl FilterTable {
                     if e.count as usize == FT_PROMOTE_COUNT {
                         let e = self.map.remove(&page).expect("entry just updated");
                         let bitmap = e.offsets.iter().map(|&o| o as usize).collect::<Bitmap16>();
-                        return Some(bitmap);
+                        return FtOutcome::Promoted(bitmap);
                     }
                 }
-                None
+                FtOutcome::Recorded
             }
             None => {
                 if self.map.len() >= self.capacity {
@@ -113,7 +139,7 @@ impl FilterTable {
                 offsets[0] = offset as u8;
                 self.map.insert(page, FtEntry { offsets, count: 1, last: now });
                 self.expiry.push_back((page, now));
-                None
+                FtOutcome::Allocated
             }
         }
     }
@@ -328,10 +354,10 @@ mod tests {
     #[test]
     fn ft_promotes_after_three_distinct_offsets() {
         let mut ft = FilterTable::new(8, 1000);
-        assert!(ft.record(1, 3, Cycle::new(0)).is_none());
-        assert!(ft.record(1, 3, Cycle::new(1)).is_none(), "duplicate offset ignored");
-        assert!(ft.record(1, 5, Cycle::new(2)).is_none());
-        let bm = ft.record(1, 9, Cycle::new(3)).expect("promotion");
+        assert_eq!(ft.record(1, 3, Cycle::new(0)), FtOutcome::Allocated);
+        assert_eq!(ft.record(1, 3, Cycle::new(1)), FtOutcome::Recorded, "duplicate offset");
+        assert_eq!(ft.record(1, 5, Cycle::new(2)), FtOutcome::Recorded);
+        let bm = ft.record(1, 9, Cycle::new(3)).promoted().expect("promotion");
         assert_eq!(bm.iter_set().collect::<Vec<_>>(), vec![3, 5, 9]);
         assert_eq!(ft.len(), 0, "promoted entry leaves the FT");
     }
@@ -356,9 +382,9 @@ mod tests {
         assert_eq!(ft.len(), 2);
         // Page 1 restarts from scratch: its pre-eviction offset is gone,
         // so promotion needs three fresh distinct offsets.
-        assert!(ft.record(1, 1, Cycle::new(3)).is_none());
-        assert!(ft.record(1, 2, Cycle::new(4)).is_none());
-        let bm = ft.record(1, 3, Cycle::new(5)).expect("third distinct offset promotes");
+        assert_eq!(ft.record(1, 1, Cycle::new(3)), FtOutcome::Allocated);
+        assert_eq!(ft.record(1, 2, Cycle::new(4)), FtOutcome::Recorded);
+        let bm = ft.record(1, 3, Cycle::new(5)).promoted().expect("third distinct offset promotes");
         assert_eq!(bm.iter_set().collect::<Vec<_>>(), vec![1, 2, 3]);
     }
 

@@ -17,6 +17,9 @@ use planaria_common::{
     Bitmap16, Cycle, MemAccess, PageNum, PhysAddr, PrefetchOrigin, PrefetchRequest, SegmentIndex,
     NUM_CHANNELS,
 };
+use planaria_telemetry::{
+    EventData, EventKind, Telemetry, TelemetryConfig, TelemetryReport, TransferReject,
+};
 
 use crate::traits::Prefetcher;
 
@@ -78,7 +81,7 @@ impl ChannelTlp {
     }
 
     /// Learning phase: record (page, segment offset) at `now`.
-    pub(crate) fn learn(&mut self, page: u64, offset: usize, now: Cycle) {
+    pub(crate) fn learn(&mut self, page: u64, offset: usize, now: Cycle, tel: &mut Telemetry) {
         self.accesses += 1;
         if let Some(i) = self.slot_of(page) {
             let e = self.slots[i].as_mut().expect("slot occupied");
@@ -94,6 +97,10 @@ impl ChannelTlp {
                 .min_by_key(|(_, s)| s.map(|e| e.last).unwrap_or(Cycle::ZERO))
                 .map(|(i, _)| i)
                 .expect("non-empty RPT")
+        });
+        let evicted = self.slots[victim].is_some();
+        tel.emit(EventKind::TlpRptAllocate, now, self.segment as u8, || {
+            EventData::TlpRptAllocate { page, evicted }
         });
         // The departing entry's Ref bits in everyone else are cleared; the
         // newcomer's are recomputed pairwise (paper §4.2).
@@ -123,24 +130,61 @@ impl ChannelTlp {
         _offset: usize,
         triggered_at: Cycle,
         out: &mut Vec<PrefetchRequest>,
+        tel: &mut Telemetry,
     ) {
         self.accesses += 1;
-        let Some(i) = self.slot_of(page) else { return };
+        let ch = self.segment as u8;
+        let reject = |tel: &mut Telemetry, reason: TransferReject| {
+            tel.emit(EventKind::TlpTransferReject, triggered_at, ch, || {
+                EventData::TlpTransferReject { page, reason }
+            });
+        };
+        let Some(i) = self.slot_of(page) else {
+            reject(tel, TransferReject::NoEntry);
+            return;
+        };
         let me = self.slots[i].expect("slot occupied");
-        let mut best: Option<(usize, Bitmap16)> = None;
+        let mut best: Option<(usize, Bitmap16, u64)> = None;
+        let mut neighbours: u8 = 0;
+        let mut best_any: usize = 0;
         let mut refs = me.refs;
         while refs != 0 {
             let j = refs.trailing_zeros() as usize;
             refs &= refs - 1;
             if let Some(other) = self.slots.get(j).copied().flatten() {
+                neighbours += 1;
                 let common = me.bitmap.overlap(other.bitmap);
-                if common >= self.cfg.min_common_bits && best.is_none_or(|(c, _)| common > c) {
-                    best = Some((common, other.bitmap));
+                best_any = best_any.max(common);
+                if common >= self.cfg.min_common_bits && best.is_none_or(|(c, _, _)| common > c) {
+                    best = Some((common, other.bitmap, other.page));
                 }
             }
         }
-        let Some((_, pattern)) = best else { return };
+        tel.emit(EventKind::TlpLookup, triggered_at, ch, || EventData::TlpLookup {
+            page,
+            neighbours,
+            best_similarity: best_any.min(u8::MAX as usize) as u8,
+        });
+        let Some((similarity, pattern, donor)) = best else {
+            let reason = if neighbours == 0 {
+                TransferReject::NoNeighbour
+            } else {
+                TransferReject::LowSimilarity
+            };
+            reject(tel, reason);
+            return;
+        };
         let todo = pattern.minus(me.bitmap);
+        if todo.is_empty() {
+            reject(tel, TransferReject::NothingNew);
+            return;
+        }
+        tel.emit(EventKind::TlpTransferAccept, triggered_at, ch, || EventData::TlpTransferAccept {
+            page,
+            donor,
+            similarity: similarity.min(u8::MAX as usize) as u8,
+            issued: todo.bits(),
+        });
         let page_num = PageNum::new(page);
         for pos in todo.iter_set() {
             let addr = PhysAddr::from_parts(page_num, SegmentIndex::new(self.segment).block(pos));
@@ -158,6 +202,7 @@ impl ChannelTlp {
 pub struct Tlp {
     cfg: TlpConfig,
     channels: Vec<ChannelTlp>,
+    tel: Telemetry,
 }
 
 impl Tlp {
@@ -166,6 +211,7 @@ impl Tlp {
         Self {
             channels: (0..NUM_CHANNELS).map(|s| ChannelTlp::new_for_segment(&cfg, s)).collect(),
             cfg,
+            tel: Telemetry::counting_only(),
         }
     }
 
@@ -200,9 +246,9 @@ impl Prefetcher for Tlp {
         let page = access.addr.page().as_u64();
         let offset = access.addr.block_index().index_in_segment();
         let tlp = &mut self.channels[ch];
-        tlp.learn(page, offset, access.cycle);
+        tlp.learn(page, offset, access.cycle, &mut self.tel);
         if !hit {
-            tlp.issue(page, offset, access.cycle, out);
+            tlp.issue(page, offset, access.cycle, out, &mut self.tel);
         }
     }
 
@@ -212,6 +258,18 @@ impl Prefetcher for Tlp {
 
     fn table_accesses(&self) -> u64 {
         self.channels.iter().map(|c| c.accesses).sum()
+    }
+
+    fn configure_telemetry(&mut self, cfg: &TelemetryConfig) {
+        self.tel = Telemetry::from_config(cfg);
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.tel)
+    }
+
+    fn telemetry_report(&mut self) -> Option<TelemetryReport> {
+        Some(self.tel.report())
     }
 }
 

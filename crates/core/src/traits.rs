@@ -1,6 +1,7 @@
 //! The prefetcher interface shared by Planaria and every baseline.
 
 use planaria_common::{MemAccess, PrefetchRequest};
+use planaria_telemetry::{Telemetry, TelemetryConfig, TelemetryReport};
 
 /// A hardware prefetcher observing the system cache's demand stream.
 ///
@@ -32,6 +33,24 @@ pub trait Prefetcher {
     /// Metadata-table reads+writes performed so far (prefetcher-side energy).
     fn table_accesses(&self) -> u64 {
         0
+    }
+
+    /// (Re)configures decision tracing. Instrumented prefetchers replace
+    /// their [`Telemetry`] handle (which also zeroes all counters — the
+    /// simulator calls this at the warmup boundary); the default is a no-op
+    /// for uninstrumented baselines.
+    fn configure_telemetry(&mut self, _cfg: &TelemetryConfig) {}
+
+    /// Read access to the live telemetry handle, if this prefetcher is
+    /// instrumented.
+    fn telemetry(&self) -> Option<&Telemetry> {
+        None
+    }
+
+    /// Condenses the telemetry handle into a report, draining any captured
+    /// events. `None` for uninstrumented baselines.
+    fn telemetry_report(&mut self) -> Option<TelemetryReport> {
+        None
     }
 }
 

@@ -24,6 +24,12 @@
 //! * [`experiment`] — one-call runners for (application × prefetcher)
 //!   grids, used by every figure harness.
 //!
+//! Observability: set [`SystemConfig::telemetry`] (or pass `--telemetry`
+//! to a figure harness) to capture decision traces and per-prefetch
+//! lifecycle events; [`MemorySystem::run_telemetry`] and
+//! [`Cell::telemetry`] surface the merged [`TelemetryReport`]. See the
+//! `planaria_telemetry` crate docs for the event taxonomy.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,6 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod experiment;
 pub mod ipc;
@@ -49,3 +56,9 @@ pub use experiment::PrefetcherKind;
 pub use metrics::{DeviceStat, SimResult, TrafficBreakdown};
 pub use runner::{Cell, Job, ProgressEvent, RunReport, Runner, TraceSource};
 pub use system::{GovernorConfig, MemorySystem, SystemConfig};
+
+// Observability layer: re-exported so simulator users can configure
+// capture and consume reports without naming the telemetry crate.
+pub use planaria_telemetry::{
+    Event, EventData, EventKind, Telemetry, TelemetryConfig, TelemetryReport,
+};

@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use planaria_core::Prefetcher;
+use planaria_telemetry::TelemetryReport;
 use planaria_trace::apps::{self, AppId};
 use planaria_trace::Trace;
 
@@ -166,6 +167,9 @@ pub struct Cell {
     pub wall: Duration,
     /// The simulation result.
     pub result: SimResult,
+    /// The cell's decision/lifecycle telemetry (counters always populated;
+    /// events only when the job's config enabled event capture).
+    pub telemetry: TelemetryReport,
 }
 
 /// Results plus batch observability, cells in job-submission order.
@@ -224,6 +228,33 @@ impl RunReport {
     /// Consumes the report into bare results, job order preserved.
     pub fn into_results(self) -> Vec<SimResult> {
         self.cells.into_iter().map(|c| c.result).collect()
+    }
+
+    /// The batch's merged telemetry: per-cell counters absorbed in
+    /// submission order (so the merge is identical at any thread count).
+    /// Per-cell event streams stay on the cells; only counters aggregate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use planaria_sim::experiment::PrefetcherKind;
+    /// use planaria_sim::runner::{Job, Runner};
+    /// use planaria_trace::apps::AppId;
+    ///
+    /// let report = Runner::new(2).run(vec![
+    ///     Job::grid_cell(AppId::Cfm, PrefetcherKind::Planaria, 3_000),
+    ///     Job::grid_cell(AppId::Cfm, PrefetcherKind::NextLine, 3_000),
+    /// ]);
+    /// let merged = report.telemetry();
+    /// let per_cell: u64 = report.cells.iter().map(|c| c.telemetry.total_issued()).sum();
+    /// assert_eq!(merged.total_issued(), per_cell);
+    /// ```
+    pub fn telemetry(&self) -> TelemetryReport {
+        let mut merged = TelemetryReport::new();
+        for cell in &self.cells {
+            merged.absorb(&cell.telemetry);
+        }
+        merged
     }
 
     /// Consumes the report into rows of `width` results — the
@@ -329,12 +360,12 @@ impl Runner {
                 TraceSource::Shared(t) => Arc::clone(t),
             };
             let sys = MemorySystem::new(job.config, (job.factory)());
-            let result = match &self.progress {
-                Some(cb) => sys.run_observed(
+            let (result, _, telemetry) = match &self.progress {
+                Some(cb) => sys.run_core(
                     &trace,
                     job.warmup,
                     self.progress_every,
-                    &mut |done, hit_rate| {
+                    Some(&mut |done, hit_rate| {
                         cb(ProgressEvent {
                             job: i,
                             total,
@@ -343,11 +374,11 @@ impl Runner {
                             trace_len: trace.len(),
                             hit_rate,
                         })
-                    },
+                    }),
                 ),
-                None => sys.run_with_warmup(&trace, job.warmup),
+                None => sys.run_core(&trace, job.warmup, usize::MAX, None),
             };
-            let cell = Cell { label: job.label.clone(), wall: t0.elapsed(), result };
+            let cell = Cell { label: job.label.clone(), wall: t0.elapsed(), result, telemetry };
             slots[i].set(cell).expect("each job index claimed once");
         };
 

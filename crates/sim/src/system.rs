@@ -6,6 +6,7 @@ use planaria_cache::{AccessResult, CacheConfig, PrefetchQueue, SetAssocCache};
 use planaria_common::{Cycle, MemAccess, PhysAddr, PrefetchOrigin, PrefetchRequest};
 use planaria_core::Prefetcher;
 use planaria_dram::{Completion, DramConfig, MemoryController, Priority};
+use planaria_telemetry::{EventKind, Telemetry, TelemetryConfig, TelemetryReport};
 
 use crate::metrics::{DeviceStat, SimResult, TrafficBreakdown};
 
@@ -54,6 +55,9 @@ pub struct SystemConfig {
     pub clock_hz: f64,
     /// Optional feedback-directed prefetch throttling.
     pub governor: Option<GovernorConfig>,
+    /// Decision tracing (counting always on; `events` opts into full
+    /// event capture).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SystemConfig {
@@ -67,6 +71,7 @@ impl Default for SystemConfig {
             table_access_pj: 15.0,
             clock_hz: 1.6e9,
             governor: None,
+            telemetry: TelemetryConfig::counting(),
         }
     }
 }
@@ -92,6 +97,9 @@ pub struct MemorySystem {
     /// Outstanding fills keyed by block number.
     inflight: HashMap<u64, Inflight>,
     scratch: Vec<PrefetchRequest>,
+    /// System-side lifecycle telemetry (issued/filled/used/evicted/late);
+    /// the prefetcher carries its own handle for decision events.
+    tel: Telemetry,
     // --- accumulated metrics ---
     latency_sum: f64,
     demand_count: u64,
@@ -139,8 +147,10 @@ struct GovernorState {
 const GOVERNOR_PROBE_PERIOD: u64 = 8;
 
 impl MemorySystem {
-    /// Builds a system around a prefetcher.
-    pub fn new(cfg: SystemConfig, prefetcher: Box<dyn Prefetcher>) -> Self {
+    /// Builds a system around a prefetcher, handing it the configured
+    /// telemetry (instrumented prefetchers start tracing immediately).
+    pub fn new(cfg: SystemConfig, mut prefetcher: Box<dyn Prefetcher>) -> Self {
+        prefetcher.configure_telemetry(&cfg.telemetry);
         Self {
             sc: SetAssocCache::new(cfg.cache),
             dram: MemoryController::new(cfg.dram),
@@ -148,6 +158,7 @@ impl MemorySystem {
             queue: PrefetchQueue::new(cfg.prefetch_queue_cap),
             inflight: HashMap::new(),
             scratch: Vec::new(),
+            tel: Telemetry::from_config(&cfg.telemetry),
             latency_sum: 0.0,
             demand_count: 0,
             late_prefetches: 0,
@@ -216,10 +227,23 @@ impl MemorySystem {
         // waited on fills as a demand line.
         let origin = if entry.waiters.is_empty() { entry.origin } else { None };
         let evicted = self.sc.fill(c.addr, origin);
+        if let Some(o) = origin {
+            self.tel.lifecycle(EventKind::PrefetchFilled, o, c.addr.as_u64(), c.finish);
+        }
         if entry.wrote {
             self.sc.mark_dirty(c.addr);
         }
         if let Some(e) = evicted {
+            if e.was_unused_prefetch {
+                if let Some(o) = e.origin {
+                    self.tel.lifecycle(
+                        EventKind::PrefetchEvictedUnused,
+                        o,
+                        e.addr.as_u64(),
+                        c.finish,
+                    );
+                }
+            }
             if e.dirty {
                 self.enqueue_writeback(e.addr, c.finish);
             }
@@ -269,16 +293,20 @@ impl MemorySystem {
         // prefetches would stall after every successful step.
         let covered_hit = matches!(result, AccessResult::Hit { first_use_of_prefetch: None });
         match result {
-            AccessResult::Hit { .. } => {
+            AccessResult::Hit { first_use_of_prefetch } => {
                 self.latency_sum += self.cfg.sc_hit_latency as f64;
                 self.device_counts[device_slot(access.device)].1 += 1;
+                if let Some(o) = first_use_of_prefetch {
+                    self.tel.lifecycle(EventKind::PrefetchUsed, o, block_addr.as_u64(), now);
+                }
             }
             AccessResult::Miss => {
                 if let Some(entry) = self.inflight.get_mut(&block_addr.block_number()) {
                     // Merge into the outstanding fill; a speculative fill
                     // becomes a (late) demand fill.
-                    if entry.origin.take().is_some() {
+                    if let Some(o) = entry.origin.take() {
                         self.late_prefetches += 1;
+                        self.tel.lifecycle(EventKind::PrefetchLate, o, block_addr.as_u64(), now);
                     }
                     entry.waiters.push(now);
                     entry.wrote |= access.kind.is_write();
@@ -326,6 +354,7 @@ impl MemorySystem {
                 || self.queue.contains_block(req.addr)
             {
                 self.prefetches_filtered += 1;
+                self.tel.lifecycle(EventKind::PrefetchFiltered, req.origin, req.addr.as_u64(), now);
                 continue;
             }
             self.queue.push(req);
@@ -340,6 +369,7 @@ impl MemorySystem {
                 Inflight { origin: Some(req.origin), waiters: Vec::new(), wrote: false },
             );
             self.prefetches_issued += 1;
+            self.tel.lifecycle(EventKind::PrefetchIssued, req.origin, req.addr.as_u64(), now);
         }
     }
 
@@ -404,6 +434,37 @@ impl MemorySystem {
         self.run_core(trace, warmup, every, Some(observe)).0
     }
 
+    /// Like [`MemorySystem::run_with_warmup`], but also returns the merged
+    /// [`TelemetryReport`] — prefetcher decision events plus system-side
+    /// prefetch-lifecycle events, stable-sorted by cycle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use planaria_sim::experiment::PrefetcherKind;
+    /// use planaria_sim::{EventKind, MemorySystem, SystemConfig, TelemetryConfig};
+    /// use planaria_trace::apps::{profile, AppId};
+    ///
+    /// let trace = profile(AppId::HoK).scaled(5_000).build();
+    /// let cfg = SystemConfig { telemetry: TelemetryConfig::events(), ..Default::default() };
+    /// let sys = MemorySystem::new(cfg, PrefetcherKind::Planaria.build());
+    /// let (result, report) = sys.run_telemetry(&trace, 0.0);
+    ///
+    /// // Lifecycle counters reconcile with the headline metrics.
+    /// assert_eq!(report.count(EventKind::PrefetchIssued), result.traffic.prefetch_reads);
+    /// // Full event capture was on, so the decision trace is populated.
+    /// assert!(!report.events.is_empty());
+    /// ```
+    pub fn run_telemetry(
+        self,
+        trace: &planaria_trace::Trace,
+        warmup: f64,
+    ) -> (SimResult, TelemetryReport) {
+        assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
+        let (result, _, telemetry) = self.run_core(trace, warmup, usize::MAX, None);
+        (result, telemetry)
+    }
+
     /// [`MemorySystem::run_with_warmup`] plus the final DRAM command
     /// counters (tests assert the read stream partitions exactly).
     fn run_with_warmup_parts(
@@ -411,16 +472,18 @@ impl MemorySystem {
         trace: &planaria_trace::Trace,
         warmup: f64,
     ) -> (SimResult, planaria_dram::DramStats) {
-        self.run_core(trace, warmup, usize::MAX, None)
+        let (result, dram, _) = self.run_core(trace, warmup, usize::MAX, None);
+        (result, dram)
     }
 
-    fn run_core(
+    pub(crate) fn run_core(
         mut self,
         trace: &planaria_trace::Trace,
         warmup: f64,
         every: usize,
         mut observe: Option<&mut dyn FnMut(usize, f64)>,
-    ) -> (SimResult, planaria_dram::DramStats) {
+    ) -> (SimResult, planaria_dram::DramStats, TelemetryReport) {
+        assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
         let skip = (trace.len() as f64 * warmup) as usize;
         for (i, a) in trace.iter().enumerate() {
             if i == skip && skip > 0 {
@@ -459,6 +522,10 @@ impl MemorySystem {
         self.device_counts = [(0, 0); 5];
         self.governor_state = GovernorState::default();
         self.first_cycle = None;
+        // Telemetry restarts with the other metrics: the system handle
+        // resets in place, the prefetcher gets a fresh handle.
+        self.tel.reset();
+        self.prefetcher.configure_telemetry(&self.cfg.telemetry);
     }
 
     /// Drains all outstanding work and produces the result record.
@@ -466,7 +533,10 @@ impl MemorySystem {
         self.finish_parts(workload).0
     }
 
-    fn finish_parts(mut self, workload: &str) -> (SimResult, planaria_dram::DramStats) {
+    fn finish_parts(
+        mut self,
+        workload: &str,
+    ) -> (SimResult, planaria_dram::DramStats, TelemetryReport) {
         // Issue whatever prefetches still fit, then let DRAM finish.
         while let Some(req) = self.next_issuable() {
             self.dram
@@ -477,10 +547,29 @@ impl MemorySystem {
                 Inflight { origin: Some(req.origin), waiters: Vec::new(), wrote: false },
             );
             self.prefetches_issued += 1;
+            self.tel.lifecycle(
+                EventKind::PrefetchIssued,
+                req.origin,
+                req.addr.as_u64(),
+                self.last_cycle,
+            );
         }
         let done = self.dram.drain();
         for c in done {
             self.handle_completion(c);
+        }
+
+        // Merge prefetcher decision telemetry with the system's lifecycle
+        // telemetry: counters add; event streams interleave by cycle (the
+        // sort is stable and the simulation single-threaded, so the merged
+        // stream is deterministic).
+        let mut telemetry = self.prefetcher.telemetry_report().unwrap_or_default();
+        let sys_tel = self.tel.report();
+        telemetry.counters.absorb(&sys_tel.counters);
+        telemetry.events_dropped += sys_tel.events_dropped;
+        if !sys_tel.events.is_empty() {
+            telemetry.events.extend(sys_tel.events);
+            telemetry.events.sort_by_key(|e| e.cycle);
         }
 
         let cache = *self.sc.stats();
@@ -545,7 +634,7 @@ impl MemorySystem {
                 })
                 .collect(),
         };
-        (result, dram)
+        (result, dram, telemetry)
     }
 }
 
