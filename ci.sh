@@ -20,6 +20,16 @@ fi
 step "cargo test -q"
 cargo test -q --workspace
 
+step "cargo bench --no-run (benches must compile)"
+cargo bench --no-run --workspace
+
+if [[ "${1:-}" != "fast" ]]; then
+    step "perf baseline (single-thread throughput -> BENCH_perf.json)"
+    cargo run --release -q -p planaria-bench --bin perf_baseline
+    # Fail the gate on a malformed measurement file.
+    cargo run --release -q -p planaria-bench --bin perf_baseline -- --check BENCH_perf.json
+fi
+
 step "cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

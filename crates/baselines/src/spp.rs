@@ -17,6 +17,7 @@ use planaria_common::{
     MemAccess, PageNum, PhysAddr, PrefetchOrigin, PrefetchRequest, BLOCKS_PER_PAGE,
 };
 use planaria_core::Prefetcher;
+use planaria_hash::{map_with_capacity, FastHashMap};
 
 /// Deltas per pattern-table entry.
 const PT_WAYS: usize = 4;
@@ -52,12 +53,12 @@ impl Default for SppConfig {
     }
 }
 
+/// Signature-table payload; the page tag (and validity) lives in the
+/// dense `Spp::st_tags` array alongside.
 #[derive(Debug, Clone, Copy, Default)]
 struct StEntry {
-    page: u64,
     last_offset: u8,
     signature: u16,
-    valid: bool,
     lru: u64,
 }
 
@@ -74,10 +75,22 @@ struct PtEntry {
 }
 
 /// The Signature Path Prefetcher.
+///
+/// The signature-table lookup runs on every access, so it is served by a
+/// hash index (`page → slot`) rather than an associative scan; the dense
+/// `st` array keeps the fixed-capacity table the storage model accounts
+/// for.
 #[derive(Debug, Clone)]
 pub struct Spp {
     cfg: SppConfig,
+    /// `page → slot` index mirroring `st` (pages are unique per table).
+    st_index: FastHashMap<u64, u32>,
+    /// Page of each ST slot (for index maintenance on eviction).
+    st_pages: Vec<u64>,
     st: Vec<StEntry>,
+    /// ST slots handed out so far; slots are never freed, so the first
+    /// `st_filled` entries are exactly the valid ones.
+    st_filled: usize,
     pt: Vec<PtEntry>,
     tick: u64,
     accesses: u64,
@@ -92,6 +105,9 @@ impl Spp {
     pub fn new(cfg: SppConfig) -> Self {
         assert!(cfg.st_entries > 0 && cfg.pt_entries > 0, "tables must be non-empty");
         Self {
+            st_index: map_with_capacity(cfg.st_entries),
+            st_pages: vec![0; cfg.st_entries],
+            st_filled: 0,
             st: vec![StEntry::default(); cfg.st_entries],
             pt: vec![PtEntry::default(); cfg.pt_entries],
             tick: 0,
@@ -138,48 +154,29 @@ impl Spp {
         e.deltas[way] = PtDelta { delta, count: 1 };
     }
 
-    /// Best (delta, confidence) for a signature.
-    fn pt_best(&self, sig: u16) -> Option<(i8, f64)> {
-        let e = &self.pt[self.pt_index(sig)];
-        if e.c_sig == 0 {
-            return None;
-        }
-        e.deltas
-            .iter()
-            .filter(|d| d.count > 0)
-            .map(|d| (d.delta, d.count as f64 / e.c_sig as f64))
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-    }
-
-    /// All (delta, confidence) pairs of a signature meeting `min_conf`.
-    fn pt_qualifying(&self, sig: u16, min_conf: f64) -> Vec<(i8, f64)> {
-        let e = &self.pt[self.pt_index(sig)];
-        if e.c_sig == 0 {
-            return Vec::new();
-        }
-        e.deltas
-            .iter()
-            .filter(|d| d.count > 0)
-            .map(|d| (d.delta, d.count as f64 / e.c_sig as f64))
-            .filter(|&(_, c)| c >= min_conf)
-            .collect()
-    }
-
     fn st_lookup(&mut self, page: u64) -> Option<usize> {
-        self.st.iter().position(|e| e.valid && e.page == page)
+        self.st_index.get(&page).map(|&i| i as usize)
     }
 
     fn st_allocate(&mut self, page: u64, offset: u8) {
-        let victim = self.st.iter().position(|e| !e.valid).unwrap_or_else(|| {
-            self.st
+        let victim = if self.st_filled < self.st.len() {
+            let v = self.st_filled;
+            self.st_filled += 1;
+            v
+        } else {
+            let v = self
+                .st
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.lru)
                 .map(|(i, _)| i)
-                .expect("non-empty ST")
-        });
-        self.st[victim] =
-            StEntry { page, last_offset: offset, signature: 0, valid: true, lru: self.tick };
+                .expect("non-empty ST");
+            self.st_index.remove(&self.st_pages[v]);
+            v
+        };
+        self.st_index.insert(page, victim as u32);
+        self.st_pages[victim] = page;
+        self.st[victim] = StEntry { last_offset: offset, signature: 0, lru: self.tick };
     }
 
     /// Lookahead walk from the page's current state, pushing prefetches.
@@ -196,13 +193,22 @@ impl Spp {
         let mut confidence = 1.0f64;
         for _ in 0..self.cfg.max_depth {
             // Breadth: issue every delta of this signature that qualifies
-            // (MICRO'16 prefetches all confident deltas per level)...
-            let qualifying = self.pt_qualifying(sig, self.cfg.confidence_threshold);
-            for &(delta, conf) in &qualifying {
-                if confidence * conf < self.cfg.prefetch_threshold {
+            // (MICRO'16 prefetches all confident deltas per level), while
+            // tracking the best delta for the depth step in the same pass
+            // (ties resolve to the later way).
+            let e = self.pt[self.pt_index(sig)];
+            let mut best: Option<(i8, f64)> = None;
+            for d in e.deltas.iter().filter(|d| e.c_sig > 0 && d.count > 0) {
+                let conf = d.count as f64 / e.c_sig as f64;
+                if best.is_none_or(|(_, c)| conf >= c) {
+                    best = Some((d.delta, conf));
+                }
+                if conf < self.cfg.confidence_threshold
+                    || confidence * conf < self.cfg.prefetch_threshold
+                {
                     continue;
                 }
-                let target = cur + delta as i64;
+                let target = cur + d.delta as i64;
                 if !(0..BLOCKS_PER_PAGE as i64).contains(&target) {
                     continue;
                 }
@@ -213,7 +219,7 @@ impl Spp {
                 out.push(PrefetchRequest::new(addr, PrefetchOrigin::Baseline, triggered_at));
             }
             // ...then depth: walk the lookahead path along the best delta.
-            let Some((delta, conf)) = self.pt_best(sig) else { break };
+            let Some((delta, conf)) = best else { break };
             if conf < self.cfg.confidence_threshold {
                 break;
             }

@@ -51,14 +51,17 @@ fn bench_dram(c: &mut Criterion) {
     group.bench_function("enqueue_advance_drain", |b| {
         b.iter(|| {
             let mut mc = MemoryController::new(DramConfig::lpddr4());
+            let mut buf = Vec::new();
             let mut done = 0usize;
             for &(addr, is_write, at) in &reqs {
                 let now = Cycle::new(at);
-                done += mc.advance_to(now).len();
+                mc.advance_to(now, &mut buf);
+                done += buf.len();
                 let prio = if is_write { Priority::Writeback } else { Priority::Demand };
                 let _ = mc.try_enqueue(addr, is_write, prio, now);
             }
-            done + mc.drain().len()
+            mc.drain(&mut buf);
+            done + buf.len()
         })
     });
     group.finish();

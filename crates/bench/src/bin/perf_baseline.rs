@@ -1,0 +1,201 @@
+//! Performance baseline — single-thread simulation throughput.
+//!
+//! Runs the Figure 8 grid (all Table 2 apps × the figure prefetcher set)
+//! serially, reports accesses/second per prefetcher kind, and writes the
+//! measurement to `BENCH_perf.json` so every PR extends the repository's
+//! performance trajectory. The recorded pre-optimization reference
+//! (`BASELINE_*` below) was measured on this machine at the commit named
+//! in the JSON; the emitted file carries both numbers.
+//!
+//! ```sh
+//! cargo run --release -p planaria-bench --bin perf_baseline [--len N] [--repeats N] [--out F]
+//! cargo run --release -p planaria-bench --bin perf_baseline -- --check F
+//! ```
+//!
+//! Trace synthesis is excluded from the timings: every trace is built
+//! before its cells are measured, exactly like the parallel runner's
+//! shared trace cache. The whole grid is timed in `--repeats` interleaved
+//! rounds and each (kind, app) cell keeps its **minimum** — on a shared
+//! machine the min over spread-out samples estimates the noise floor
+//! (what the code costs), while a single sample measures whatever else
+//! the host happened to be doing.
+
+use std::time::Instant;
+
+use planaria_bench::json;
+use planaria_sim::experiment::PrefetcherKind;
+use planaria_sim::{MemorySystem, SystemConfig};
+use planaria_trace::apps::{profile, AppId};
+
+/// Default accesses per application trace (kept small enough for CI).
+const DEFAULT_LEN: usize = 200_000;
+
+/// Default timing repeats per cell (minimum kept).
+const DEFAULT_REPEATS: usize = 5;
+
+/// Commit of the recorded pre-optimization reference measurement.
+const BASELINE_COMMIT: &str = "3191706";
+
+/// `--len` the reference measurement was taken at.
+const BASELINE_LEN: usize = 200_000;
+
+/// Pre-optimization accesses/second per kind (single thread, this
+/// machine, commit [`BASELINE_COMMIT`]), plus the all-kinds total.
+const BASELINE_APS: [(&str, f64); 5] = [
+    ("None", 1_518_535.0),
+    ("BOP", 1_474_618.0),
+    ("SPP", 1_318_307.0),
+    ("Planaria", 1_014_356.0),
+    ("total", 1_298_252.0),
+];
+
+fn main() {
+    let mut len = DEFAULT_LEN;
+    let mut repeats = DEFAULT_REPEATS;
+    let mut out_path = String::from("BENCH_perf.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--len" => {
+                let v = args.next().expect("--len needs a value");
+                len = v.replace('_', "").parse().expect("--len must be an integer");
+            }
+            "--repeats" => {
+                let v = args.next().expect("--repeats needs a value");
+                repeats = v.parse().expect("--repeats must be an integer");
+                assert!(repeats >= 1, "--repeats must be at least 1");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => {
+                let path = args.next().expect("--check needs a path");
+                check(&path);
+                return;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: perf_baseline [--len N] [--repeats N] [--out FILE] | --check FILE"
+                );
+                return;
+            }
+            other => panic!("unknown argument {other:?} (try --help)"),
+        }
+    }
+
+    let kinds = PrefetcherKind::FIGURE_SET;
+    let apps = AppId::ALL;
+    eprintln!(
+        "perf_baseline: {} apps x {} kinds, {len} accesses/app, 1 thread, min of {repeats}",
+        apps.len(),
+        4
+    );
+
+    let traces: Vec<_> = apps.iter().map(|&a| profile(a).scaled(len).build()).collect();
+    // One untimed warm-up cell so lazy init (page faults, allocator pools)
+    // doesn't land in the first measured kind.
+    MemorySystem::new(SystemConfig::default(), kinds[0].build()).run(&traces[0]);
+
+    // Repeats are interleaved as whole-grid rounds (not back-to-back per
+    // cell): a multi-second load burst on a shared host then has to recur
+    // in *every* round to bias a cell's minimum, instead of swallowing all
+    // of one cell's samples at once.
+    let mut cell_secs = vec![f64::INFINITY; kinds.len() * traces.len()];
+    let mut cell_accesses = vec![0u64; kinds.len() * traces.len()];
+    for _round in 0..repeats {
+        for (ki, kind) in kinds.iter().enumerate() {
+            for (ti, trace) in traces.iter().enumerate() {
+                let sys = MemorySystem::new(SystemConfig::default(), kind.build());
+                let t0 = Instant::now();
+                let r = sys.run(trace);
+                let secs = t0.elapsed().as_secs_f64();
+                let cell = ki * traces.len() + ti;
+                cell_secs[cell] = cell_secs[cell].min(secs);
+                cell_accesses[cell] = r.accesses;
+            }
+        }
+    }
+
+    let mut rows: Vec<(&str, u64, f64)> = Vec::new();
+    let mut total_accesses = 0u64;
+    let mut total_secs = 0.0f64;
+    for (ki, kind) in kinds.iter().enumerate() {
+        let cells = ki * traces.len()..(ki + 1) * traces.len();
+        let accesses: u64 = cell_accesses[cells.clone()].iter().sum();
+        let secs: f64 = cell_secs[cells].iter().sum();
+        eprintln!(
+            "  {:<10} {:>9.0} accesses/s  ({secs:.2}s)",
+            kind.label(),
+            accesses as f64 / secs
+        );
+        rows.push((kind.label(), accesses, secs));
+        total_accesses += accesses;
+        total_secs += secs;
+    }
+    let total_aps = total_accesses as f64 / total_secs;
+    eprintln!("  {:<10} {:>9.0} accesses/s  ({total_secs:.2}s)", "total", total_aps);
+
+    let doc = render(len, &rows, total_accesses, total_secs);
+    json::validate(&doc).expect("perf_baseline emitted malformed JSON");
+    std::fs::write(&out_path, &doc).expect("write BENCH_perf.json");
+    eprintln!("wrote {out_path}");
+    let baseline_total = BASELINE_APS.iter().find(|(k, _)| *k == "total").map(|(_, v)| *v);
+    if let Some(b) = baseline_total.filter(|&b| b > 0.0 && len == BASELINE_LEN) {
+        eprintln!("speedup vs {BASELINE_COMMIT} baseline: {:.2}x", total_aps / b);
+    }
+}
+
+/// Validates a previously written file; exits non-zero on bad JSON.
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
+    if let Err(e) = json::validate(&text) {
+        eprintln!("{path}: malformed JSON: {e}");
+        std::process::exit(1);
+    }
+    println!("{path}: well-formed JSON");
+}
+
+/// Renders the measurement document (fixed key order, so diffs are clean).
+fn render(len: usize, rows: &[(&str, u64, f64)], total_accesses: u64, total_secs: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"planaria-perf-v1\",\n");
+    s.push_str("  \"grid\": \"fig8\",\n");
+    s.push_str("  \"threads\": 1,\n");
+    s.push_str(&format!("  \"len_per_app\": {len},\n"));
+    s.push_str(&format!("  \"apps\": {},\n", AppId::ALL.len()));
+
+    let baseline_known = BASELINE_APS.iter().all(|(_, v)| *v > 0.0);
+    s.push_str("  \"baseline\": ");
+    if baseline_known {
+        s.push_str("{\n");
+        s.push_str(&format!("    \"commit\": \"{BASELINE_COMMIT}\",\n"));
+        s.push_str(&format!("    \"len_per_app\": {BASELINE_LEN},\n"));
+        s.push_str("    \"accesses_per_sec\": {\n");
+        for (i, (kind, aps)) in BASELINE_APS.iter().enumerate() {
+            let comma = if i + 1 == BASELINE_APS.len() { "" } else { "," };
+            s.push_str(&format!("      \"{kind}\": {aps:.0}{comma}\n"));
+        }
+        s.push_str("    }\n  },\n");
+    } else {
+        s.push_str("null,\n");
+    }
+
+    s.push_str("  \"current\": {\n    \"accesses_per_sec\": {\n");
+    for (kind, accesses, secs) in rows {
+        s.push_str(&format!("      \"{kind}\": {:.0},\n", *accesses as f64 / secs));
+    }
+    let total_aps = total_accesses as f64 / total_secs;
+    s.push_str(&format!("      \"total\": {total_aps:.0}\n"));
+    s.push_str("    },\n");
+    s.push_str(&format!("    \"total_accesses\": {total_accesses},\n"));
+    s.push_str(&format!("    \"total_seconds\": {total_secs:.3}\n"));
+    s.push_str("  },\n");
+
+    let baseline_total = BASELINE_APS.iter().find(|(k, _)| *k == "total").map(|(_, v)| *v);
+    match baseline_total.filter(|&b| b > 0.0 && len == BASELINE_LEN) {
+        Some(b) => s.push_str(&format!("  \"speedup_total\": {:.3}\n", total_aps / b)),
+        None => s.push_str("  \"speedup_total\": null\n"),
+    }
+    s.push_str("}\n");
+    s
+}

@@ -1,0 +1,220 @@
+//! A minimal JSON syntax validator.
+//!
+//! The benchmark harnesses hand-roll their JSON output (the vendored
+//! `serde` stand-in has no `serde_json`), so `ci.sh` needs an offline way
+//! to prove the emitted files are well-formed. This is a strict
+//! recursive-descent checker for RFC 8259 syntax — it validates, it does
+//! not build a document tree.
+
+/// Validates that `text` is exactly one well-formed JSON value.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error, with
+/// its byte offset.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            if !self.bump().is_some_and(|b| b.is_ascii_hexdigit()) {
+                                return Err(self.err("bad \\u escape"));
+                            }
+                        }
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<(), String> {
+        if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            return Err(self.err("expected a digit"));
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'0') {
+            self.pos += 1;
+        } else {
+            self.digits()?;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    #[test]
+    fn accepts_wellformed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            r#""a\nbÿ""#,
+            r#"{"a": [1, 2.5, true, null], "b": {"c": "d"}}"#,
+            "  {\n\"k\": 0\n}\n",
+        ] {
+            assert_eq!(validate(ok), Ok(()), "rejected valid JSON: {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{]",
+            "[1,]",
+            r#"{"a" 1}"#,
+            r#"{"a": 1,}"#,
+            "01",
+            "1.",
+            "nul",
+            r#""unterminated"#,
+            "{} extra",
+            r#"{"a": }"#,
+        ] {
+            assert!(validate(bad).is_err(), "accepted malformed JSON: {bad}");
+        }
+    }
+}

@@ -22,6 +22,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
+
 use planaria_sim::experiment::PrefetcherKind;
 use planaria_sim::runner::{Job, RunReport, Runner};
 use planaria_sim::SimResult;

@@ -3,26 +3,43 @@
 use planaria_common::{AccessKind, PhysAddr, PrefetchOrigin};
 
 use crate::replacement::{
-    duel_role, DuelRole, SetState, BRRIP_LONG_PERIOD, PSEL_MAX, PSEL_MID, SRRIP_INSERT_RRPV,
+    duel_role, DuelRole, ReplTable, BRRIP_LONG_PERIOD, PSEL_MAX, PSEL_MID, SRRIP_INSERT_RRPV,
     SRRIP_MAX_RRPV,
 };
 use crate::{CacheConfig, CacheStats, ReplacementKind};
 
-/// One cache line's metadata (the simulator stores no data bytes).
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Filled by a prefetch and not yet demanded.
-    prefetched: bool,
-    /// Which prefetcher filled it (kept for Figure 9 attribution).
-    origin: Option<PrefetchOrigin>,
+/// Tag stored for a line that holds nothing. Real tags are
+/// `block_number >> set_shift` with `block_number = addr / 64`, so they can
+/// never reach `u64::MAX` — which lets the hit scan test residency with a
+/// single tag compare instead of also loading a valid flag.
+const TAG_INVALID: u64 = u64::MAX;
+
+/// Per-line metadata byte: the block was written since it was filled.
+const META_DIRTY: u8 = 1 << 0;
+/// Per-line metadata byte: filled by a prefetch and not yet demanded.
+const META_PREFETCHED: u8 = 1 << 1;
+/// Per-line metadata byte: which prefetcher filled the line, kept for
+/// Figure 9 attribution even after a demand touch (bits 2-3: 0 = demand
+/// fill, otherwise `PrefetchOrigin` discriminant + 1).
+const META_ORIGIN_SHIFT: u8 = 2;
+
+fn encode_origin(origin: Option<PrefetchOrigin>) -> u8 {
+    let o = match origin {
+        None => 0u8,
+        Some(PrefetchOrigin::Slp) => 1,
+        Some(PrefetchOrigin::Tlp) => 2,
+        Some(PrefetchOrigin::Baseline) => 3,
+    };
+    o << META_ORIGIN_SHIFT
 }
 
-impl Line {
-    const INVALID: Line =
-        Line { tag: 0, valid: false, dirty: false, prefetched: false, origin: None };
+fn decode_origin(meta: u8) -> Option<PrefetchOrigin> {
+    match (meta >> META_ORIGIN_SHIFT) & 0b11 {
+        1 => Some(PrefetchOrigin::Slp),
+        2 => Some(PrefetchOrigin::Tlp),
+        3 => Some(PrefetchOrigin::Baseline),
+        _ => None,
+    }
 }
 
 /// Result of a demand access.
@@ -69,9 +86,19 @@ pub struct EvictedLine {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: usize,
-    lines: Vec<Line>,
-    repl: Vec<SetState>,
+    /// Low-bit mask selecting the set from a block number (sets are a
+    /// validated power of two, so indexing never divides).
+    set_mask: u64,
+    /// Shift extracting the tag from a block number.
+    set_shift: u32,
+    /// Per-line tags, `ways` per set, [`TAG_INVALID`] when empty — the
+    /// only array the residency scan touches (a 16-way set spans two host
+    /// cache lines instead of the four a tag+flags struct layout costs).
+    tags: Vec<u64>,
+    /// Per-line packed flags + origin (see the `META_*` constants),
+    /// touched only on the hit/fill way.
+    meta: Vec<u8>,
+    repl: ReplTable,
     stats: CacheStats,
     tick: u64,
     rng: u64,
@@ -91,9 +118,11 @@ impl SetAssocCache {
         let sets = config.sets();
         Self {
             config,
-            sets,
-            lines: vec![Line::INVALID; sets * config.ways],
-            repl: (0..sets).map(|_| SetState::new(config.replacement, config.ways)).collect(),
+            set_mask: sets as u64 - 1,
+            set_shift: sets.trailing_zeros(),
+            tags: vec![TAG_INVALID; sets * config.ways],
+            meta: vec![0; sets * config.ways],
+            repl: ReplTable::new(config.replacement, sets, config.ways),
             stats: CacheStats::default(),
             tick: 0,
             rng: 0x9E37_79B9_7F4A_7C15,
@@ -148,19 +177,14 @@ impl SetAssocCache {
 
     fn index(&self, addr: PhysAddr) -> (usize, u64) {
         let block = addr.block_number();
-        ((block % self.sets as u64) as usize, block / self.sets as u64)
-    }
-
-    fn set_lines(&mut self, set: usize) -> &mut [Line] {
-        let ways = self.config.ways;
-        &mut self.lines[set * ways..(set + 1) * ways]
+        ((block & self.set_mask) as usize, block >> self.set_shift)
     }
 
     /// Looks up a block without updating replacement state or statistics.
     pub fn contains(&self, addr: PhysAddr) -> bool {
         let (set, tag) = self.index(addr);
-        let ways = self.config.ways;
-        self.lines[set * ways..(set + 1) * ways].iter().any(|l| l.valid && l.tag == tag)
+        let base = set * self.config.ways;
+        self.tags[base..base + self.config.ways].contains(&tag)
     }
 
     /// Performs a demand access (updates replacement state and stats).
@@ -171,20 +195,21 @@ impl SetAssocCache {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
-        let hit_way = self.set_lines(set).iter().position(|l| l.valid && l.tag == tag);
+        let base = set * self.config.ways;
+        let hit_way = self.tags[base..base + self.config.ways].iter().position(|&t| t == tag);
         match hit_way {
             Some(way) => {
-                let line = &mut self.set_lines(set)[way];
-                let first_use = if line.prefetched {
-                    line.prefetched = false;
-                    line.origin
+                let m = &mut self.meta[base + way];
+                let first_use = if *m & META_PREFETCHED != 0 {
+                    *m &= !META_PREFETCHED;
+                    decode_origin(*m)
                 } else {
                     None
                 };
                 if kind.is_write() {
-                    line.dirty = true;
+                    *m |= META_DIRTY;
                 }
-                self.repl[set].on_hit(way, tick);
+                self.repl.on_hit(base, way, tick);
                 self.stats.demand_hits += 1;
                 if first_use.is_some() {
                     self.stats.record_useful(first_use);
@@ -221,48 +246,53 @@ impl SetAssocCache {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
-        if self.set_lines(set).iter().any(|l| l.valid && l.tag == tag) {
-            return None;
+        let ways = self.config.ways;
+        let base = set * ways;
+        // One pass answers both questions the fill needs: duplicate
+        // residency (no-op) and the first empty way.
+        let mut invalid_way = None;
+        for (w, &t0) in self.tags[base..base + ways].iter().enumerate() {
+            if t0 == tag {
+                return None;
+            }
+            if invalid_way.is_none() && t0 == TAG_INVALID {
+                invalid_way = Some(w);
+            }
         }
         if prefetched.is_some() {
             self.stats.prefetch_fills += 1;
         } else {
             self.stats.demand_fills += 1;
         }
-        let ways = self.config.ways;
-        let way = match self.set_lines(set).iter().position(|l| !l.valid) {
+        let way = match invalid_way {
             Some(w) => w,
-            None => self.repl[set].victim(ways, &mut self.rng),
+            None => self.repl.victim(base, ways, &mut self.rng),
         };
         let insert_rrpv = self.insert_rrpv(set);
-        let sets = self.sets;
-        let victim_line = self.set_lines(set)[way];
-        let evicted = if victim_line.valid {
+        let victim_tag = self.tags[base + way];
+        let evicted = if victim_tag != TAG_INVALID {
+            let vm = self.meta[base + way];
             self.stats.evictions += 1;
-            if victim_line.dirty {
+            if vm & META_DIRTY != 0 {
                 self.stats.writebacks += 1;
             }
-            if victim_line.prefetched {
+            if vm & META_PREFETCHED != 0 {
                 self.stats.polluting_prefetches += 1;
             }
-            let victim_block = victim_line.tag * sets as u64 + set as u64;
+            let victim_block = (victim_tag << self.set_shift) | set as u64;
             Some(EvictedLine {
                 addr: PhysAddr::new(victim_block * planaria_common::BLOCK_SIZE),
-                dirty: victim_line.dirty,
-                was_unused_prefetch: victim_line.prefetched,
-                origin: victim_line.origin,
+                dirty: vm & META_DIRTY != 0,
+                was_unused_prefetch: vm & META_PREFETCHED != 0,
+                origin: decode_origin(vm),
             })
         } else {
             None
         };
-        self.set_lines(set)[way] = Line {
-            tag,
-            valid: true,
-            dirty: false,
-            prefetched: prefetched.is_some(),
-            origin: prefetched,
-        };
-        self.repl[set].on_fill(way, tick, insert_rrpv);
+        self.tags[base + way] = tag;
+        self.meta[base + way] =
+            encode_origin(prefetched) | if prefetched.is_some() { META_PREFETCHED } else { 0 };
+        self.repl.on_fill(base, way, tick, insert_rrpv);
         evicted
     }
 
@@ -272,9 +302,10 @@ impl SetAssocCache {
     /// Returns `false` if the block is not resident.
     pub fn mark_dirty(&mut self, addr: PhysAddr) -> bool {
         let (set, tag) = self.index(addr);
-        match self.set_lines(set).iter_mut().find(|l| l.valid && l.tag == tag) {
-            Some(line) => {
-                line.dirty = true;
+        let base = set * self.config.ways;
+        match self.tags[base..base + self.config.ways].iter().position(|&t| t == tag) {
+            Some(way) => {
+                self.meta[base + way] |= META_DIRTY;
                 true
             }
             None => false,
@@ -283,7 +314,7 @@ impl SetAssocCache {
 
     /// Number of currently valid lines (used by tests and invariants).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.tags.iter().filter(|&&t| t != TAG_INVALID).count()
     }
 }
 

@@ -6,9 +6,8 @@
 //! *prefetch* is recognised as a **late prefetch**: the requester waits
 //! only the residual latency instead of a full memory access.
 
-use std::collections::HashMap;
-
 use planaria_common::{Cycle, PhysAddr, PrefetchOrigin};
+use planaria_hash::{map_with_capacity, FastHashMap};
 
 /// Outcome of probing the MSHR file for a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +33,7 @@ struct Entry {
 /// A bounded file of outstanding misses, keyed by block address.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
-    entries: HashMap<u64, Entry>,
+    entries: FastHashMap<u64, Entry>,
     capacity: usize,
     /// Demand misses merged into an in-flight entry.
     pub merged: u64,
@@ -53,7 +52,7 @@ impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
         Self {
-            entries: HashMap::with_capacity(capacity),
+            entries: map_with_capacity(capacity),
             capacity,
             merged: 0,
             late_prefetch_hits: 0,
@@ -119,17 +118,27 @@ impl MshrFile {
     }
 
     /// Releases every entry whose fill completed at or before `now`,
-    /// returning `(block address, was prefetch)` pairs.
-    pub fn drain_completed(&mut self, now: Cycle) -> Vec<(PhysAddr, Option<PrefetchOrigin>)> {
-        let done: Vec<u64> =
-            self.entries.iter().filter(|(_, e)| e.ready_at <= now).map(|(&b, _)| b).collect();
-        let mut out = Vec::with_capacity(done.len());
-        for b in done {
-            let e = self.entries.remove(&b).expect("key just listed");
-            out.push((PhysAddr::new(b * planaria_common::BLOCK_SIZE), e.prefetch));
-        }
-        out.sort_by_key(|(a, _)| a.as_u64());
-        out
+    /// appending `(block address, was prefetch)` pairs to `out` in
+    /// address order (the same caller-provided-buffer pattern as the SLP
+    /// tables' `sweep(&mut out)`, so steady-state draining allocates
+    /// nothing).
+    pub fn drain_completed(
+        &mut self,
+        now: Cycle,
+        out: &mut Vec<(PhysAddr, Option<PrefetchOrigin>)>,
+    ) {
+        let start = out.len();
+        self.entries.retain(|&b, e| {
+            if e.ready_at <= now {
+                out.push((PhysAddr::new(b * planaria_common::BLOCK_SIZE), e.prefetch));
+                false
+            } else {
+                true
+            }
+        });
+        // `retain` visits in map order; re-establish the address order the
+        // API guarantees (and determinism demands).
+        out[start..].sort_by_key(|(a, _)| a.as_u64());
     }
 }
 
@@ -183,12 +192,31 @@ mod tests {
         m.allocate(PhysAddr::new(0x40), Cycle::new(10), None);
         m.allocate(PhysAddr::new(0x80), Cycle::new(20), Some(PrefetchOrigin::Tlp));
         m.allocate(PhysAddr::new(0xc0), Cycle::new(30), None);
-        let done = m.drain_completed(Cycle::new(20));
+        let mut done = Vec::new();
+        m.drain_completed(Cycle::new(20), &mut done);
         assert_eq!(done.len(), 2);
         assert_eq!(done[0].0, PhysAddr::new(0x40));
         assert_eq!(done[1].1, Some(PrefetchOrigin::Tlp));
         assert_eq!(m.len(), 1);
-        assert!(m.drain_completed(Cycle::new(19)).is_empty());
+        done.clear();
+        m.drain_completed(Cycle::new(19), &mut done);
+        assert!(done.is_empty());
+    }
+
+    #[test]
+    fn drain_appends_after_existing_content() {
+        // The buffer is caller-owned: existing content stays, new pairs
+        // land behind it in address order.
+        let mut m = MshrFile::new(8);
+        m.allocate(PhysAddr::new(0xc0), Cycle::new(5), None);
+        m.allocate(PhysAddr::new(0x40), Cycle::new(5), None);
+        let sentinel = (PhysAddr::new(0xffff), None);
+        let mut out = vec![sentinel];
+        m.drain_completed(Cycle::new(5), &mut out);
+        assert_eq!(out[0], sentinel);
+        assert_eq!(out[1].0, PhysAddr::new(0x40));
+        assert_eq!(out[2].0, PhysAddr::new(0xc0));
+        assert!(m.is_empty());
     }
 
     #[test]

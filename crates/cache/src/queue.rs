@@ -5,15 +5,16 @@
 //! against its own contents and drops on overflow — both effects matter for
 //! the power experiment: a prefetcher that floods the queue wastes energy.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use planaria_common::PrefetchRequest;
+use planaria_hash::{set_with_capacity, FastHashSet};
 
 /// A bounded FIFO of pending prefetch requests with block-level dedup.
 #[derive(Debug, Clone)]
 pub struct PrefetchQueue {
     queue: VecDeque<PrefetchRequest>,
-    pending_blocks: HashSet<u64>,
+    pending_blocks: FastHashSet<u64>,
     capacity: usize,
     /// Requests dropped because the queue was full.
     pub dropped_full: u64,
@@ -33,7 +34,7 @@ impl PrefetchQueue {
         assert!(capacity > 0, "prefetch queue capacity must be positive");
         Self {
             queue: VecDeque::with_capacity(capacity),
-            pending_blocks: HashSet::with_capacity(capacity),
+            pending_blocks: set_with_capacity(capacity),
             capacity,
             dropped_full: 0,
             dropped_duplicate: 0,
@@ -95,6 +96,11 @@ impl PrefetchQueue {
         self.pending_blocks.insert(block);
         self.queue.push_front(req);
         true
+    }
+
+    /// The oldest queued request, without dequeuing it.
+    pub fn peek(&self) -> Option<&PrefetchRequest> {
+        self.queue.front()
     }
 
     /// Returns `true` when a request for the block is queued.

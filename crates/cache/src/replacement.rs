@@ -93,70 +93,85 @@ pub(crate) const PSEL_MID: u16 = 512;
 /// PSEL saturation bound.
 pub(crate) const PSEL_MAX: u16 = 1023;
 
-/// Per-set replacement state.
+/// Replacement state for the whole cache, flattened struct-of-arrays
+/// style: one contiguous stamp (or RRPV) array indexed by
+/// `set * ways + way`, instead of one boxed `Vec` per set. The per-set
+/// enum-of-`Vec` layout cost a pointer chase plus a scattered heap line on
+/// every replacement-state touch — on the simulator's hot path that was a
+/// measurable share of each access.
 #[derive(Debug, Clone)]
-pub(crate) enum SetState {
-    /// Per-way last-touch timestamps.
-    Lru(Vec<u64>),
-    /// Per-way insertion order stamps.
-    Fifo(Vec<u64>),
+pub(crate) enum ReplTable {
+    /// Per-way stamps: last touch for LRU (`update_on_hit`), insertion
+    /// order for FIFO.
+    Stamps {
+        /// LRU refreshes the stamp on hits; FIFO does not.
+        update_on_hit: bool,
+        /// `sets * ways` stamps.
+        stamps: Vec<u64>,
+    },
     /// Per-way 2-bit RRPVs (shared by the whole RRIP family).
     Rrip(Vec<u8>),
     /// No per-way state; victims come from the shared RNG.
     Random,
 }
 
-impl SetState {
-    pub(crate) fn new(kind: ReplacementKind, ways: usize) -> Self {
+impl ReplTable {
+    pub(crate) fn new(kind: ReplacementKind, sets: usize, ways: usize) -> Self {
         match kind {
-            ReplacementKind::Lru => SetState::Lru(vec![0; ways]),
-            ReplacementKind::Fifo => SetState::Fifo(vec![0; ways]),
-            k if k.is_rrip() => SetState::Rrip(vec![SRRIP_MAX_RRPV; ways]),
-            _ => SetState::Random,
+            ReplacementKind::Lru => {
+                ReplTable::Stamps { update_on_hit: true, stamps: vec![0; sets * ways] }
+            }
+            ReplacementKind::Fifo => {
+                ReplTable::Stamps { update_on_hit: false, stamps: vec![0; sets * ways] }
+            }
+            k if k.is_rrip() => ReplTable::Rrip(vec![SRRIP_MAX_RRPV; sets * ways]),
+            _ => ReplTable::Random,
         }
     }
 
-    /// Records a hit on `way` at logical time `tick`.
-    pub(crate) fn on_hit(&mut self, way: usize, tick: u64) {
+    /// Records a hit on `way` of the set starting at line index `base`.
+    pub(crate) fn on_hit(&mut self, base: usize, way: usize, tick: u64) {
         match self {
-            SetState::Lru(ts) => ts[way] = tick,
-            SetState::Fifo(_) => {}
-            SetState::Rrip(rrpv) => rrpv[way] = 0,
-            SetState::Random => {}
+            ReplTable::Stamps { update_on_hit: true, stamps } => stamps[base + way] = tick,
+            ReplTable::Stamps { .. } => {}
+            ReplTable::Rrip(rrpv) => rrpv[base + way] = 0,
+            ReplTable::Random => {}
         }
     }
 
-    /// Records a fill into `way` at logical time `tick`; `insert_rrpv` is
+    /// Records a fill into `way` of the set at `base`; `insert_rrpv` is
     /// the RRIP insertion value chosen by the cache (ignored elsewhere).
-    pub(crate) fn on_fill(&mut self, way: usize, tick: u64, insert_rrpv: u8) {
+    pub(crate) fn on_fill(&mut self, base: usize, way: usize, tick: u64, insert_rrpv: u8) {
         match self {
-            SetState::Lru(ts) => ts[way] = tick,
-            SetState::Fifo(ts) => ts[way] = tick,
-            SetState::Rrip(rrpv) => rrpv[way] = insert_rrpv,
-            SetState::Random => {}
+            ReplTable::Stamps { stamps, .. } => stamps[base + way] = tick,
+            ReplTable::Rrip(rrpv) => rrpv[base + way] = insert_rrpv,
+            ReplTable::Random => {}
         }
     }
 
-    /// Chooses a victim among valid ways (the cache prefers invalid ways
-    /// before consulting the policy). `rng` is the cache-level xorshift
-    /// state used by the random policy.
-    pub(crate) fn victim(&mut self, ways: usize, rng: &mut u64) -> usize {
+    /// Chooses a victim among the `ways` lines of the set at `base` (the
+    /// cache prefers invalid ways before consulting the policy). `rng` is
+    /// the cache-level xorshift state used by the random policy.
+    pub(crate) fn victim(&mut self, base: usize, ways: usize, rng: &mut u64) -> usize {
         match self {
-            SetState::Lru(ts) | SetState::Fifo(ts) => ts
+            ReplTable::Stamps { stamps, .. } => stamps[base..base + ways]
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &t)| t)
                 .map(|(w, _)| w)
                 .expect("non-empty set"),
-            SetState::Rrip(rrpv) => loop {
-                if let Some(w) = rrpv.iter().position(|&r| r >= SRRIP_MAX_RRPV) {
-                    break w;
+            ReplTable::Rrip(rrpv) => {
+                let set = &mut rrpv[base..base + ways];
+                loop {
+                    if let Some(w) = set.iter().position(|&r| r >= SRRIP_MAX_RRPV) {
+                        break w;
+                    }
+                    for r in set.iter_mut() {
+                        *r += 1;
+                    }
                 }
-                for r in rrpv.iter_mut() {
-                    *r += 1;
-                }
-            },
-            SetState::Random => {
+            }
+            ReplTable::Random => {
                 // xorshift64: deterministic, cheap, uniform enough.
                 let mut x = *rng;
                 x ^= x << 13;
@@ -175,44 +190,58 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut s = SetState::new(ReplacementKind::Lru, 4);
+        let mut s = ReplTable::new(ReplacementKind::Lru, 1, 4);
         for (w, t) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
-            s.on_fill(w, t, SRRIP_INSERT_RRPV);
+            s.on_fill(0, w, t, SRRIP_INSERT_RRPV);
         }
-        s.on_hit(0, 5); // way 0 becomes most recent; way 1 is oldest
+        s.on_hit(0, 0, 5); // way 0 becomes most recent; way 1 is oldest
         let mut rng = 1;
-        assert_eq!(s.victim(4, &mut rng), 1);
+        assert_eq!(s.victim(0, 4, &mut rng), 1);
     }
 
     #[test]
     fn fifo_ignores_hits() {
-        let mut s = SetState::new(ReplacementKind::Fifo, 4);
+        let mut s = ReplTable::new(ReplacementKind::Fifo, 1, 4);
         for (w, t) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
-            s.on_fill(w, t, SRRIP_INSERT_RRPV);
+            s.on_fill(0, w, t, SRRIP_INSERT_RRPV);
         }
-        s.on_hit(0, 100); // FIFO does not promote on hit
+        s.on_hit(0, 0, 100); // FIFO does not promote on hit
         let mut rng = 1;
-        assert_eq!(s.victim(4, &mut rng), 0);
+        assert_eq!(s.victim(0, 4, &mut rng), 0);
     }
 
     #[test]
     fn srrip_promotes_on_hit_and_ages() {
-        let mut s = SetState::new(ReplacementKind::Srrip, 2);
-        s.on_fill(0, 0, SRRIP_INSERT_RRPV);
-        s.on_fill(1, 0, SRRIP_INSERT_RRPV);
-        s.on_hit(0, 0); // rrpv 0
+        let mut s = ReplTable::new(ReplacementKind::Srrip, 1, 2);
+        s.on_fill(0, 0, 0, SRRIP_INSERT_RRPV);
+        s.on_fill(0, 1, 0, SRRIP_INSERT_RRPV);
+        s.on_hit(0, 0, 0); // rrpv 0
         let mut rng = 1;
         // Way 1 has higher RRPV after ageing, so it is the victim.
-        assert_eq!(s.victim(2, &mut rng), 1);
+        assert_eq!(s.victim(0, 2, &mut rng), 1);
     }
 
     #[test]
     fn distant_insertion_is_evicted_before_long() {
-        let mut s = SetState::new(ReplacementKind::Brrip, 2);
-        s.on_fill(0, 0, SRRIP_INSERT_RRPV); // "long" (rrpv 2)
-        s.on_fill(1, 0, SRRIP_MAX_RRPV); // "distant" (rrpv 3)
+        let mut s = ReplTable::new(ReplacementKind::Brrip, 1, 2);
+        s.on_fill(0, 0, 0, SRRIP_INSERT_RRPV); // "long" (rrpv 2)
+        s.on_fill(0, 1, 0, SRRIP_MAX_RRPV); // "distant" (rrpv 3)
         let mut rng = 1;
-        assert_eq!(s.victim(2, &mut rng), 1, "distant line goes first");
+        assert_eq!(s.victim(0, 2, &mut rng), 1, "distant line goes first");
+    }
+
+    #[test]
+    fn second_set_state_is_independent() {
+        // Two sets sharing one flattened table: victims must not leak
+        // across the set boundary.
+        let mut s = ReplTable::new(ReplacementKind::Lru, 2, 2);
+        s.on_fill(0, 0, 10, SRRIP_INSERT_RRPV);
+        s.on_fill(0, 1, 20, SRRIP_INSERT_RRPV);
+        s.on_fill(2, 0, 5, SRRIP_INSERT_RRPV);
+        s.on_fill(2, 1, 30, SRRIP_INSERT_RRPV);
+        let mut rng = 1;
+        assert_eq!(s.victim(0, 2, &mut rng), 0, "set 0 oldest is way 0");
+        assert_eq!(s.victim(2, 2, &mut rng), 0, "set 1 oldest is its own way 0");
     }
 
     #[test]
@@ -229,11 +258,11 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_for_seed() {
-        let mut s = SetState::new(ReplacementKind::Random, 8);
+        let mut s = ReplTable::new(ReplacementKind::Random, 1, 8);
         let mut rng_a = 42u64;
         let mut rng_b = 42u64;
-        let a: Vec<usize> = (0..16).map(|_| s.victim(8, &mut rng_a)).collect();
-        let b: Vec<usize> = (0..16).map(|_| s.victim(8, &mut rng_b)).collect();
+        let a: Vec<usize> = (0..16).map(|_| s.victim(0, 8, &mut rng_a)).collect();
+        let b: Vec<usize> = (0..16).map(|_| s.victim(0, 8, &mut rng_b)).collect();
         assert_eq!(a, b);
         assert!(a.iter().all(|&w| w < 8));
     }

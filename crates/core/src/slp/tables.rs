@@ -14,11 +14,16 @@
 //!
 //! All tables are indexed by page number only — no PC exists at the system
 //! cache. Timeouts are implemented with lazy expiry queues so each access
-//! costs amortised O(1).
+//! costs amortised O(1), and the maps hash with the deterministic
+//! [`planaria_hash`] hasher (these lookups run on every simulated access).
+//! Any decision that scans a map — victim selection in particular — must
+//! break ties on the page number so results never depend on iteration
+//! order, i.e. on the hasher.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use planaria_common::{Bitmap16, Cycle};
+use planaria_hash::{map_with_capacity, FastHashMap};
 
 /// How the Pattern History Table reconciles a freshly captured snapshot
 /// with a previously learned pattern for the same page.
@@ -87,7 +92,7 @@ struct FtEntry {
 /// The Filter Table: pre-screens pages before they earn an AT entry.
 #[derive(Debug, Clone)]
 pub(crate) struct FilterTable {
-    map: HashMap<u64, FtEntry>,
+    map: FastHashMap<u64, FtEntry>,
     expiry: VecDeque<(u64, Cycle)>,
     capacity: usize,
     timeout: u64,
@@ -98,7 +103,7 @@ impl FilterTable {
     pub(crate) fn new(capacity: usize, timeout: u64) -> Self {
         assert!(capacity > 0, "FT capacity must be positive");
         Self {
-            map: HashMap::with_capacity(capacity),
+            map: map_with_capacity(capacity),
             expiry: VecDeque::new(),
             capacity,
             timeout,
@@ -153,7 +158,9 @@ impl FilterTable {
     }
 
     fn evict_oldest(&mut self) {
-        if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last) {
+        // Total order (last, page): equal timestamps would otherwise be
+        // broken by map iteration order, i.e. by the hasher.
+        if let Some((&victim, _)) = self.map.iter().min_by_key(|(&page, e)| (e.last, page)) {
             self.map.remove(&victim);
         }
     }
@@ -187,7 +194,7 @@ struct AtEntry {
 /// The Accumulation Table: builds the footprint bitmap of in-flight pages.
 #[derive(Debug, Clone)]
 pub(crate) struct AccumulationTable {
-    map: HashMap<u64, AtEntry>,
+    map: FastHashMap<u64, AtEntry>,
     expiry: VecDeque<(u64, Cycle)>,
     capacity: usize,
     timeout: u64,
@@ -198,7 +205,7 @@ impl AccumulationTable {
     pub(crate) fn new(capacity: usize, timeout: u64) -> Self {
         assert!(capacity > 0, "AT capacity must be positive");
         Self {
-            map: HashMap::with_capacity(capacity),
+            map: map_with_capacity(capacity),
             expiry: VecDeque::new(),
             capacity,
             timeout,
@@ -240,7 +247,9 @@ impl AccumulationTable {
     ) -> Option<(u64, Bitmap16)> {
         let mut spilled = None;
         if self.map.len() >= self.capacity {
-            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last) {
+            // Total order (last, page): equal timestamps would otherwise
+            // be broken by map iteration order, i.e. by the hasher.
+            if let Some((&victim, _)) = self.map.iter().min_by_key(|(&page, e)| (e.last, page)) {
                 let e = self.map.remove(&victim).expect("victim exists");
                 spilled = Some((victim, e.bitmap));
             }
@@ -274,7 +283,7 @@ impl AccumulationTable {
 /// The Pattern History Table: page number → learned snapshot bitmap.
 #[derive(Debug, Clone)]
 pub(crate) struct PatternTable {
-    map: HashMap<u64, Bitmap16>,
+    map: FastHashMap<u64, Bitmap16>,
     fifo: VecDeque<u64>,
     capacity: usize,
     merge: PatternMerge,
@@ -290,7 +299,7 @@ impl PatternTable {
     pub(crate) fn with_merge(capacity: usize, merge: PatternMerge) -> Self {
         assert!(capacity > 0, "PT capacity must be positive");
         Self {
-            map: HashMap::with_capacity(capacity),
+            map: map_with_capacity(capacity),
             fifo: VecDeque::with_capacity(capacity),
             capacity,
             merge,
@@ -412,6 +421,32 @@ mod tests {
         assert!(out.is_empty(), "entry refreshed at 90, timeout at 190");
         at.sweep(Cycle::new(191), &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn at_victim_ties_break_on_page_number() {
+        // Two entries with identical `last` stamps: the victim must be the
+        // lower page number regardless of insertion order or hasher —
+        // before the (last, page) total order, iteration order decided.
+        for &(first, second) in &[(10u64, 20u64), (20u64, 10u64)] {
+            let mut at = AccumulationTable::new(2, 1000);
+            at.insert(first, Bitmap16::from_bits(0b1), Cycle::new(5));
+            at.insert(second, Bitmap16::from_bits(0b10), Cycle::new(5));
+            let spilled = at.insert(30, Bitmap16::from_bits(0b100), Cycle::new(6));
+            assert_eq!(spilled.map(|(page, _)| page), Some(10), "insert order {first},{second}");
+        }
+    }
+
+    #[test]
+    fn ft_victim_ties_break_on_page_number() {
+        for &(first, second) in &[(10u64, 20u64), (20u64, 10u64)] {
+            let mut ft = FilterTable::new(2, 1_000_000);
+            ft.record(first, 0, Cycle::new(5));
+            ft.record(second, 0, Cycle::new(5));
+            ft.record(30, 0, Cycle::new(6)); // evicts the tied oldest
+            assert!(ft.observed(10).is_none(), "page 10 must be the victim");
+            assert!(ft.observed(20).is_some());
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use planaria_common::{
     Bitmap16, Cycle, MemAccess, PageNum, PhysAddr, PrefetchOrigin, PrefetchRequest, SegmentIndex,
     NUM_CHANNELS,
 };
+use planaria_hash::{map_with_capacity, FastHashMap};
 use planaria_telemetry::{
     EventData, EventKind, Telemetry, TelemetryConfig, TelemetryReport, TransferReject,
 };
@@ -48,21 +49,36 @@ impl Default for TlpConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct RptEntry {
-    page: u64,
-    bitmap: Bitmap16,
-    last: Cycle,
-    /// Bit *j* set ⇔ entry *j* is an address-space neighbour of this page.
-    refs: u128,
-}
-
 /// One channel's TLP instance with decoupled learning/issuing phases.
+///
+/// The RPT is stored struct-of-arrays: the associative page lookup runs
+/// on every single access and is served by a hash index (`page → slot`),
+/// while the allocation path's pairwise Ref-bit recomputation and LRU
+/// victim scan walk dense `pages`/`lasts`/`refs` arrays instead of
+/// 40-byte `Option` entries.
 #[derive(Debug, Clone)]
 pub(crate) struct ChannelTlp {
     segment: usize,
     cfg: TlpConfig,
-    slots: Vec<Option<RptEntry>>,
+    /// `page → slot` index mirroring `pages` (pages are unique per table).
+    index: FastHashMap<u64, u32>,
+    /// Page number of each slot; valid for slots below `filled`.
+    pages: Vec<u64>,
+    /// Recently-accessed-blocks bitmap per slot.
+    bitmaps: Vec<Bitmap16>,
+    /// Last-touch cycle per slot (LRU victim selection).
+    lasts: Vec<Cycle>,
+    /// Bit *j* set ⇔ entry *j* is an address-space neighbour of this slot.
+    refs: Vec<u128>,
+    /// Slots handed out so far; slots are never freed, so the first
+    /// `filled` entries are exactly the occupied ones.
+    filled: usize,
+    /// One-entry lookup memo `(page, slot)` exploiting page-burst
+    /// locality: consecutive accesses overwhelmingly hit the same page,
+    /// and `learn` + `issue` on a miss look the same page up twice. The
+    /// mapping only changes on allocation, which refreshes the memo.
+    /// `u64::MAX` is never a real page number (pages are `addr >> 12`).
+    last_lookup: (u64, u32),
     pub(crate) accesses: u64,
 }
 
@@ -73,32 +89,52 @@ impl ChannelTlp {
             "RPT entries must be in 1..=128 (got {})",
             cfg.entries
         );
-        Self { segment, cfg: *cfg, slots: vec![None; cfg.entries], accesses: 0 }
+        Self {
+            segment,
+            cfg: *cfg,
+            index: map_with_capacity(cfg.entries),
+            pages: vec![0; cfg.entries],
+            bitmaps: vec![Bitmap16::EMPTY; cfg.entries],
+            lasts: vec![Cycle::ZERO; cfg.entries],
+            refs: vec![0; cfg.entries],
+            filled: 0,
+            last_lookup: (u64::MAX, 0),
+            accesses: 0,
+        }
     }
 
-    fn slot_of(&self, page: u64) -> Option<usize> {
-        self.slots.iter().position(|s| s.map(|e| e.page) == Some(page))
+    fn slot_of(&mut self, page: u64) -> Option<usize> {
+        if self.last_lookup.0 == page {
+            return Some(self.last_lookup.1 as usize);
+        }
+        let slot = *self.index.get(&page)?;
+        self.last_lookup = (page, slot);
+        Some(slot as usize)
     }
 
     /// Learning phase: record (page, segment offset) at `now`.
     pub(crate) fn learn(&mut self, page: u64, offset: usize, now: Cycle, tel: &mut Telemetry) {
         self.accesses += 1;
         if let Some(i) = self.slot_of(page) {
-            let e = self.slots[i].as_mut().expect("slot occupied");
-            e.bitmap.set(offset);
-            e.last = now;
+            self.bitmaps[i].set(offset);
+            self.lasts[i] = now;
             return;
         }
         // Allocate: empty slot first, else LRU victim.
-        let victim = self.slots.iter().position(Option::is_none).unwrap_or_else(|| {
-            self.slots
+        let (victim, evicted) = if self.filled < self.pages.len() {
+            let v = self.filled;
+            self.filled += 1;
+            (v, false)
+        } else {
+            let v = self.lasts[..self.filled]
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, s)| s.map(|e| e.last).unwrap_or(Cycle::ZERO))
+                .min_by_key(|(_, &t)| t)
                 .map(|(i, _)| i)
-                .expect("non-empty RPT")
-        });
-        let evicted = self.slots[victim].is_some();
+                .expect("non-empty RPT");
+            self.index.remove(&self.pages[v]);
+            (v, true)
+        };
         tel.emit(EventKind::TlpRptAllocate, now, self.segment as u8, || {
             EventData::TlpRptAllocate { page, evicted }
         });
@@ -106,20 +142,23 @@ impl ChannelTlp {
         // newcomer's are recomputed pairwise (paper §4.2).
         let mask = !(1u128 << victim);
         let mut refs = 0u128;
-        for (j, slot) in self.slots.iter_mut().enumerate() {
+        for j in 0..self.filled {
             if j == victim {
                 continue;
             }
-            if let Some(e) = slot.as_mut() {
-                e.refs &= mask;
-                if e.page.abs_diff(page) <= self.cfg.distance_threshold {
-                    e.refs |= 1u128 << victim;
-                    refs |= 1u128 << j;
-                }
+            self.refs[j] &= mask;
+            if self.pages[j].abs_diff(page) <= self.cfg.distance_threshold {
+                self.refs[j] |= 1u128 << victim;
+                refs |= 1u128 << j;
             }
         }
-        self.slots[victim] =
-            Some(RptEntry { page, bitmap: Bitmap16::EMPTY.with(offset), last: now, refs });
+        self.index.insert(page, victim as u32);
+        // The victim slot's old page is gone; the newcomer owns the memo.
+        self.last_lookup = (page, victim as u32);
+        self.pages[victim] = page;
+        self.bitmaps[victim] = Bitmap16::EMPTY.with(offset);
+        self.lasts[victim] = now;
+        self.refs[victim] = refs;
     }
 
     /// Issuing phase: on a demand miss, transfer the most similar
@@ -143,21 +182,21 @@ impl ChannelTlp {
             reject(tel, TransferReject::NoEntry);
             return;
         };
-        let me = self.slots[i].expect("slot occupied");
+        let my_bitmap = self.bitmaps[i];
         let mut best: Option<(usize, Bitmap16, u64)> = None;
         let mut neighbours: u8 = 0;
         let mut best_any: usize = 0;
-        let mut refs = me.refs;
+        // Ref bits only ever point at occupied slots (slots are never
+        // freed, and eviction clears the departing slot's bit everywhere).
+        let mut refs = self.refs[i];
         while refs != 0 {
             let j = refs.trailing_zeros() as usize;
             refs &= refs - 1;
-            if let Some(other) = self.slots.get(j).copied().flatten() {
-                neighbours += 1;
-                let common = me.bitmap.overlap(other.bitmap);
-                best_any = best_any.max(common);
-                if common >= self.cfg.min_common_bits && best.is_none_or(|(c, _, _)| common > c) {
-                    best = Some((common, other.bitmap, other.page));
-                }
+            neighbours += 1;
+            let common = my_bitmap.overlap(self.bitmaps[j]);
+            best_any = best_any.max(common);
+            if common >= self.cfg.min_common_bits && best.is_none_or(|(c, _, _)| common > c) {
+                best = Some((common, self.bitmaps[j], self.pages[j]));
             }
         }
         tel.emit(EventKind::TlpLookup, triggered_at, ch, || EventData::TlpLookup {
@@ -174,7 +213,7 @@ impl ChannelTlp {
             reject(tel, reason);
             return;
         };
-        let todo = pattern.minus(me.bitmap);
+        let todo = pattern.minus(my_bitmap);
         if todo.is_empty() {
             reject(tel, TransferReject::NothingNew);
             return;
@@ -193,7 +232,7 @@ impl ChannelTlp {
     }
 
     pub(crate) fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.filled
     }
 }
 

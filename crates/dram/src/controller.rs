@@ -30,6 +30,11 @@ pub struct MemoryController {
     cfg: DramConfig,
     channels: Vec<Channel>,
     next_id: u64,
+    /// Lower bound on the next cycle at which *any* channel can act;
+    /// [`MemoryController::advance_to`] before this cycle is a no-op and
+    /// returns without touching the channels. Reset to `Cycle::ZERO`
+    /// whenever channel state changes outside `advance_to` (enqueue).
+    next_event: Cycle,
 }
 
 impl MemoryController {
@@ -46,7 +51,12 @@ impl MemoryController {
             "the static page-segment mapping requires {} channels",
             planaria_common::NUM_CHANNELS
         );
-        Self { channels: (0..cfg.channels).map(|_| Channel::new(cfg)).collect(), next_id: 0, cfg }
+        Self {
+            channels: (0..cfg.channels).map(|_| Channel::new(cfg)).collect(),
+            next_id: 0,
+            next_event: Cycle::ZERO,
+            cfg,
+        }
     }
 
     /// The controller's configuration.
@@ -75,6 +85,7 @@ impl MemoryController {
         let id = RequestId(self.next_id);
         self.next_id += 1;
         self.channels[ch].enqueue(id, addr.block_base(), is_write, priority, now);
+        self.next_event = Cycle::ZERO;
         Ok(id)
     }
 
@@ -93,24 +104,53 @@ impl MemoryController {
     }
 
     /// Issues every command that can legally issue at or before `now` on
-    /// every channel; returns completions sorted by finish time.
-    pub fn advance_to(&mut self, now: Cycle) -> Vec<Completion> {
-        let mut out = Vec::new();
+    /// every channel, filling `out` (cleared first) with completions
+    /// sorted by finish time.
+    ///
+    /// The caller owns and reuses the buffer: the simulator calls this
+    /// once per demand access, so a returned `Vec` here would be a heap
+    /// allocation on the steady-state hot path.
+    pub fn advance_to(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        out.clear();
+        // Incremental scheduling fast path: each channel's memoised
+        // decision bounds when it can next act, so calls before the bound
+        // (the common case — one call per simulated demand access) skip
+        // the per-channel walk entirely.
+        if now < self.next_event {
+            return;
+        }
         for ch in &mut self.channels {
-            ch.advance_to(now, &mut out);
+            ch.advance_to(now, out);
+        }
+        self.next_event =
+            self.channels.iter().map(Channel::next_event).min().unwrap_or(Cycle::ZERO);
+        out.sort_by_key(|c| (c.finish, c.id));
+    }
+
+    /// Services every outstanding request, filling `out` (cleared first)
+    /// with completions sorted by finish time.
+    pub fn drain(&mut self, out: &mut Vec<Completion>) {
+        out.clear();
+        self.next_event = Cycle::ZERO;
+        for ch in &mut self.channels {
+            ch.drain(out);
         }
         out.sort_by_key(|c| (c.finish, c.id));
+    }
+
+    /// [`MemoryController::advance_to`] into a freshly allocated buffer —
+    /// a convenience for tests and examples off the hot path.
+    pub fn advance_collect(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.advance_to(now, &mut out);
         out
     }
 
-    /// Services every outstanding request; returns completions sorted by
-    /// finish time.
-    pub fn drain(&mut self) -> Vec<Completion> {
+    /// [`MemoryController::drain`] into a freshly allocated buffer — a
+    /// convenience for tests and examples off the hot path.
+    pub fn drain_collect(&mut self) -> Vec<Completion> {
         let mut out = Vec::new();
-        for ch in &mut self.channels {
-            ch.drain(&mut out);
-        }
-        out.sort_by_key(|c| (c.finish, c.id));
+        self.drain(&mut out);
         out
     }
 
@@ -166,7 +206,7 @@ mod tests {
         let t = Timing::lpddr4();
         let mut mc = mc_logged();
         mc.try_enqueue(PhysAddr::new(0), false, Priority::Demand, Cycle::ZERO).expect("room");
-        let done = mc.drain();
+        let done = mc.drain_collect();
         assert_eq!(done.len(), 1);
         // Cold bank: ACT at 0 is gated only by the command bus, then
         // RD at tRCD, data at +tCL+tBURST.
@@ -181,7 +221,7 @@ mod tests {
         mc.try_enqueue(PhysAddr::new(0), false, Priority::Demand, Cycle::ZERO).expect("room");
         mc.try_enqueue(PhysAddr::new(BLOCK_SIZE), false, Priority::Demand, Cycle::ZERO)
             .expect("room");
-        let done = mc.drain();
+        let done = mc.drain_collect();
         let hit_gap = done[1].finish - done[0].finish;
         assert_eq!(hit_gap, t.t_ccd, "row hit should be tCCD apart");
 
@@ -192,7 +232,7 @@ mod tests {
         mc.try_enqueue(PhysAddr::new(0), false, Priority::Demand, Cycle::ZERO).expect("room");
         mc.try_enqueue(PhysAddr::new(16 * PAGE_SIZE), false, Priority::Demand, Cycle::ZERO)
             .expect("room");
-        let done = mc.drain();
+        let done = mc.drain_collect();
         let conflict_gap = done[1].finish - done[0].finish;
         assert!(
             conflict_gap > hit_gap,
@@ -209,7 +249,7 @@ mod tests {
         assert_ne!(a.channel(), b.channel());
         mc.try_enqueue(a, false, Priority::Demand, Cycle::ZERO).expect("room");
         mc.try_enqueue(b, false, Priority::Demand, Cycle::ZERO).expect("room");
-        let done = mc.drain();
+        let done = mc.drain_collect();
         // Both finish at the cold-bank latency: no shared-bus interference.
         assert_eq!(done[0].finish, done[1].finish);
     }
@@ -236,9 +276,9 @@ mod tests {
     fn advance_to_only_issues_due_commands() {
         let mut mc = mc_logged();
         mc.try_enqueue(PhysAddr::new(0), false, Priority::Demand, Cycle::ZERO).expect("room");
-        assert!(mc.advance_to(Cycle::new(1)).is_empty(), "data cannot be ready yet");
+        assert!(mc.advance_collect(Cycle::new(1)).is_empty(), "data cannot be ready yet");
         let t = Timing::lpddr4();
-        let done = mc.advance_to(Cycle::new(t.row_closed_latency() + 10));
+        let done = mc.advance_collect(Cycle::new(t.row_closed_latency() + 10));
         assert_eq!(done.len(), 1);
     }
 
@@ -247,7 +287,7 @@ mod tests {
         let t = Timing::lpddr4();
         let mut mc = mc_logged();
         // Idle for three refresh intervals.
-        mc.advance_to(Cycle::new(3 * t.t_refi + 1));
+        mc.advance_collect(Cycle::new(3 * t.t_refi + 1));
         let s = mc.stats();
         assert_eq!(s.n_ref, 3 * 4, "3 refreshes x 4 channels");
     }
@@ -256,7 +296,7 @@ mod tests {
     fn writes_complete_and_count() {
         let mut mc = mc_logged();
         mc.try_enqueue(PhysAddr::new(0), true, Priority::Writeback, Cycle::ZERO).expect("room");
-        let done = mc.drain();
+        let done = mc.drain_collect();
         assert_eq!(done.len(), 1);
         assert!(done[0].is_write);
         assert_eq!(mc.stats().n_wr, 1);
@@ -269,7 +309,7 @@ mod tests {
         mc.try_enqueue(PhysAddr::new(0), false, Priority::Prefetch, Cycle::ZERO).expect("room");
         mc.try_enqueue(PhysAddr::new(BLOCK_SIZE), false, Priority::Demand, Cycle::ZERO)
             .expect("room");
-        let done = mc.drain();
+        let done = mc.drain_collect();
         // The ACT is triggered by whichever is scheduled first; both target
         // the same row so the column commands tie — demand must go first.
         assert_eq!(done[0].priority, Priority::Demand);
@@ -280,7 +320,7 @@ mod tests {
         let t = Timing::lpddr4();
         let mut mc = mc_logged();
         mc.try_enqueue(PhysAddr::new(0), false, Priority::Demand, Cycle::ZERO).expect("room");
-        mc.drain();
+        mc.drain_collect();
         let log = mc.command_log(0);
         let act = log.iter().find(|c| c.kind == CommandKind::Activate).expect("ACT");
         let rd = log.iter().find(|c| c.kind == CommandKind::Read).expect("RD");
@@ -304,7 +344,7 @@ mod tests {
                 .iter()
                 .map(|&a| mc.try_enqueue(a, false, Priority::Demand, Cycle::ZERO).expect("room"))
                 .collect();
-            let done = mc.drain();
+            let done = mc.drain_collect();
             let order: Vec<RequestId> = done.iter().map(|c| c.id).collect();
             (ids, order, done.last().expect("nonempty").finish)
         };
@@ -322,9 +362,9 @@ mod tests {
         // Long idle gap before the first request (shorter than tREFI so no
         // refresh interferes with the arithmetic).
         let now = Cycle::new(5000);
-        mc.advance_to(now);
+        mc.advance_collect(now);
         mc.try_enqueue(PhysAddr::new(0), false, Priority::Demand, now).expect("room");
-        let done = mc.drain();
+        let done = mc.drain_collect();
         // The wake adds tXP before the first command.
         assert_eq!(
             done[0].finish.as_u64(),
@@ -342,9 +382,9 @@ mod tests {
         cfg.powerdown = false;
         let mut mc = MemoryController::new(cfg);
         let now = Cycle::new(5000);
-        mc.advance_to(now);
+        mc.advance_collect(now);
         mc.try_enqueue(PhysAddr::new(0), false, Priority::Demand, now).expect("room");
-        let done = mc.drain();
+        let done = mc.drain_collect();
         let t = Timing::lpddr4();
         assert_eq!(done[0].finish.as_u64(), 5000 + t.row_closed_latency());
         assert_eq!(mc.stats().powerdown_cycles, 0);
@@ -359,7 +399,7 @@ mod tests {
             DramConfig::lpddr4().with_page_policy(PagePolicy::Closed).with_log(),
         );
         mc.try_enqueue(PhysAddr::new(0), false, Priority::Demand, Cycle::ZERO).expect("room");
-        mc.drain();
+        mc.drain_collect();
         assert_eq!(mc.stats().n_pre, 1, "auto-precharge missing");
 
         // Two same-row reads enqueued together: the first column command
@@ -370,7 +410,7 @@ mod tests {
         mc.try_enqueue(PhysAddr::new(0), false, Priority::Demand, Cycle::ZERO).expect("room");
         mc.try_enqueue(PhysAddr::new(BLOCK_SIZE), false, Priority::Demand, Cycle::ZERO)
             .expect("room");
-        let done = mc.drain();
+        let done = mc.drain_collect();
         let t = Timing::lpddr4();
         assert_eq!(done[1].finish - done[0].finish, t.t_ccd, "second read stays a row hit");
         assert_eq!(mc.stats().n_pre, 1, "only the final auto-precharge");
@@ -387,9 +427,9 @@ mod tests {
                 // Rows alternate: 0, 16 pages apart (same bank, diff row).
                 let addr = PhysAddr::new((i % 2) * 16 * PAGE_SIZE + (i / 2) * BLOCK_SIZE);
                 mc.try_enqueue(addr, false, Priority::Demand, Cycle::new(i * 500)).expect("room");
-                mc.advance_to(Cycle::new(i * 500));
+                mc.advance_collect(Cycle::new(i * 500));
             }
-            mc.drain().last().expect("nonempty").finish
+            mc.drain_collect().last().expect("nonempty").finish
         };
         let open = run(PagePolicy::Open);
         let closed = run(PagePolicy::Closed);
@@ -409,7 +449,7 @@ mod tests {
         }
         mc.try_enqueue(PhysAddr::new(13 * BLOCK_SIZE), true, Priority::Writeback, Cycle::ZERO)
             .expect("room");
-        mc.drain();
+        mc.drain_collect();
         let s = mc.stats();
         assert_eq!(s.n_rd, 12);
         assert_eq!(s.n_rd_demand, 4);
@@ -422,7 +462,7 @@ mod tests {
     fn reset_stats_clears_counters() {
         let mut mc = MemoryController::new(DramConfig::lpddr4());
         mc.try_enqueue(PhysAddr::new(0), false, Priority::Demand, Cycle::ZERO).expect("room");
-        mc.drain();
+        mc.drain_collect();
         assert!(mc.stats().n_rd > 0);
         mc.reset_stats();
         assert_eq!(mc.stats(), DramStats::default());
@@ -447,7 +487,7 @@ mod tests {
                     .expect("room"),
             );
         }
-        let done = mc.drain();
+        let done = mc.drain_collect();
         assert_eq!(done.len(), 10);
         let mut got: Vec<RequestId> = done.iter().map(|c| c.id).collect();
         got.sort();

@@ -29,7 +29,9 @@
 //! let id = mc
 //!     .try_enqueue(PhysAddr::new(0x4000), false, Priority::Demand, Cycle::new(0))
 //!     .expect("queue has room");
-//! let done = mc.drain();
+//! // Hot-path callers reuse one completion buffer across calls; the
+//! // `_collect` variants allocate a fresh one for convenience.
+//! let done = mc.drain_collect();
 //! assert_eq!(done.len(), 1);
 //! assert_eq!(done[0].id, id);
 //! assert!(done[0].finish.as_u64() > 0);

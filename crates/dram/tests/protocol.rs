@@ -27,13 +27,13 @@ fn run(reqs: Vec<Req>) -> MemoryController {
     let mut mc = MemoryController::new(DramConfig::lpddr4().with_log());
     for r in reqs {
         let now = Cycle::new(r.at);
-        mc.advance_to(now);
+        mc.advance_collect(now);
         let prio = if r.is_write { Priority::Writeback } else { Priority::Demand };
         // Drop politely if the queue is full — the sim does the same for
         // prefetches; protocol invariants must hold regardless.
         let _ = mc.try_enqueue(PhysAddr::new(r.addr), r.is_write, prio, now);
     }
-    mc.drain();
+    mc.drain_collect();
     mc
 }
 
@@ -128,7 +128,7 @@ proptest! {
         let mut expected = Vec::new();
         for r in &reqs {
             let now = Cycle::new(r.at);
-            let mut done = mc.advance_to(now);
+            let mut done = mc.advance_collect(now);
             expected.retain(|id| !done.iter().any(|c| c.id == *id));
             done.clear();
             if let Ok(id) = mc.try_enqueue(
@@ -140,7 +140,7 @@ proptest! {
                 expected.push(id);
             }
         }
-        let done = mc.drain();
+        let done = mc.drain_collect();
         let mut got: Vec<_> = done.iter().map(|c| c.id).collect();
         got.sort();
         expected.sort();
@@ -159,10 +159,10 @@ proptest! {
             let mut all = Vec::new();
             for r in reqs {
                 let now = Cycle::new(r.at);
-                all.extend(mc.advance_to(now));
+                all.extend(mc.advance_collect(now));
                 let _ = mc.try_enqueue(PhysAddr::new(r.addr), r.is_write, Priority::Demand, now);
             }
-            all.extend(mc.drain());
+            all.extend(mc.drain_collect());
             all
         };
         for c in &mc_done {

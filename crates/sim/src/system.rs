@@ -1,11 +1,10 @@
 //! The memory-system event loop.
 
-use std::collections::HashMap;
-
 use planaria_cache::{AccessResult, CacheConfig, PrefetchQueue, SetAssocCache};
 use planaria_common::{Cycle, MemAccess, PhysAddr, PrefetchOrigin, PrefetchRequest};
 use planaria_core::Prefetcher;
 use planaria_dram::{Completion, DramConfig, MemoryController, Priority};
+use planaria_hash::{map_with_capacity, FastHashMap};
 use planaria_telemetry::{EventKind, Telemetry, TelemetryConfig, TelemetryReport};
 
 use crate::metrics::{DeviceStat, SimResult, TrafficBreakdown};
@@ -76,12 +75,58 @@ impl Default for SystemConfig {
     }
 }
 
+/// Arrival cycles of demand accesses waiting on one in-flight fill.
+///
+/// Almost every fill has zero or one waiter, so the first two live inline
+/// and the steady-state miss path never heap-allocates; only pathological
+/// merge storms touch the spill vector.
+#[derive(Debug, Clone)]
+struct WaiterList {
+    inline: [Cycle; 2],
+    len: u8,
+    spill: Vec<Cycle>,
+}
+
+impl Default for WaiterList {
+    fn default() -> Self {
+        Self { inline: [Cycle::ZERO; 2], len: 0, spill: Vec::new() }
+    }
+}
+
+impl WaiterList {
+    fn one(first: Cycle) -> Self {
+        Self { inline: [first, Cycle::ZERO], len: 1, spill: Vec::new() }
+    }
+
+    fn push(&mut self, cycle: Cycle) {
+        if (self.len as usize) < self.inline.len() {
+            self.inline[self.len as usize] = cycle;
+            self.len += 1;
+        } else {
+            self.spill.push(cycle);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn iter(&self) -> impl Iterator<Item = Cycle> + '_ {
+        self.inline[..self.len as usize].iter().copied().chain(self.spill.iter().copied())
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Inflight {
     /// `Some(origin)` while the outstanding fill is still speculative.
     origin: Option<PrefetchOrigin>,
     /// Demand accesses (their arrival cycles) waiting on this fill.
-    waiters: Vec<Cycle>,
+    waiters: WaiterList,
     /// A waiting demand was a write: the fill must land dirty
     /// (write-allocate semantics).
     wrote: bool,
@@ -95,8 +140,10 @@ pub struct MemorySystem {
     prefetcher: Box<dyn Prefetcher>,
     queue: PrefetchQueue,
     /// Outstanding fills keyed by block number.
-    inflight: HashMap<u64, Inflight>,
+    inflight: FastHashMap<u64, Inflight>,
     scratch: Vec<PrefetchRequest>,
+    /// Reusable DRAM-completion buffer (see [`MemorySystem::pump_dram`]).
+    completions: Vec<Completion>,
     /// System-side lifecycle telemetry (issued/filled/used/evicted/late);
     /// the prefetcher carries its own handle for decision events.
     tel: Telemetry,
@@ -156,8 +203,9 @@ impl MemorySystem {
             dram: MemoryController::new(cfg.dram),
             prefetcher,
             queue: PrefetchQueue::new(cfg.prefetch_queue_cap),
-            inflight: HashMap::new(),
+            inflight: map_with_capacity(256),
             scratch: Vec::new(),
+            completions: Vec::new(),
             tel: Telemetry::from_config(&cfg.telemetry),
             latency_sum: 0.0,
             demand_count: 0,
@@ -220,8 +268,8 @@ impl MemorySystem {
             return;
         };
         // Waiting demands pay the residual memory latency.
-        for w in &entry.waiters {
-            self.latency_sum += (self.cfg.sc_hit_latency + c.finish.since(*w)) as f64;
+        for w in entry.waiters.iter() {
+            self.latency_sum += (self.cfg.sc_hit_latency + c.finish.since(w)) as f64;
         }
         // A prefetch nobody consumed fills speculatively; anything a demand
         // waited on fills as a demand line.
@@ -251,9 +299,15 @@ impl MemorySystem {
     }
 
     fn pump_dram(&mut self, now: Cycle) {
-        for c in self.dram.advance_to(now) {
+        // The buffer is moved out of `self` for the duration of the loop so
+        // `handle_completion(&mut self)` can run; it is handed back (still
+        // holding its capacity) afterwards, so steady state never allocates.
+        let mut buf = std::mem::take(&mut self.completions);
+        self.dram.advance_to(now, &mut buf);
+        for c in buf.drain(..) {
             self.handle_completion(c);
         }
+        self.completions = buf;
     }
 
     /// Forces queue room for a must-issue request by servicing the DRAM
@@ -321,7 +375,7 @@ impl MemorySystem {
                         block_addr.block_number(),
                         Inflight {
                             origin: None,
-                            waiters: vec![access.cycle],
+                            waiters: WaiterList::one(access.cycle),
                             wrote: access.kind.is_write(),
                         },
                     );
@@ -366,7 +420,7 @@ impl MemorySystem {
             self.dram.try_enqueue(req.addr, false, Priority::Prefetch, now).expect("room checked");
             self.inflight.insert(
                 req.addr.block_number(),
-                Inflight { origin: Some(req.origin), waiters: Vec::new(), wrote: false },
+                Inflight { origin: Some(req.origin), waiters: WaiterList::default(), wrote: false },
             );
             self.prefetches_issued += 1;
             self.tel.lifecycle(EventKind::PrefetchIssued, req.origin, req.addr.as_u64(), now);
@@ -379,19 +433,18 @@ impl MemorySystem {
     /// speculative stream must not starve any channel of queue slots).
     fn next_issuable(&mut self) -> Option<PrefetchRequest> {
         loop {
-            let head = self.queue.pop()?;
+            let head = *self.queue.peek()?;
             if self.sc.contains(head.addr) || self.inflight.contains_key(&head.addr.block_number())
             {
-                continue; // stale: already present or being fetched
+                self.queue.pop(); // stale: already present or being fetched
+                continue;
             }
-            if self.dram.has_room_for(head.addr) {
-                return Some(head);
+            if !self.dram.has_room_for(head.addr) {
+                // Head keeps its place (it was only peeked, so the dedup
+                // set and FIFO order are untouched).
+                return None;
             }
-            // Head keeps its place: it was just popped, so neither the
-            // dedup set nor the capacity bound can reject it.
-            let restored = self.queue.push_front(head);
-            debug_assert!(restored, "re-staged head must be accepted");
-            return None;
+            return self.queue.pop();
         }
     }
 
@@ -544,7 +597,7 @@ impl MemorySystem {
                 .expect("room checked");
             self.inflight.insert(
                 req.addr.block_number(),
-                Inflight { origin: Some(req.origin), waiters: Vec::new(), wrote: false },
+                Inflight { origin: Some(req.origin), waiters: WaiterList::default(), wrote: false },
             );
             self.prefetches_issued += 1;
             self.tel.lifecycle(
@@ -554,10 +607,12 @@ impl MemorySystem {
                 self.last_cycle,
             );
         }
-        let done = self.dram.drain();
-        for c in done {
+        let mut buf = std::mem::take(&mut self.completions);
+        self.dram.drain(&mut buf);
+        for c in buf.drain(..) {
             self.handle_completion(c);
         }
+        self.completions = buf;
 
         // Merge prefetcher decision telemetry with the system's lifecycle
         // telemetry: counters add; event streams interleave by cycle (the
@@ -678,6 +733,18 @@ mod tests {
         let r = sys.run(&trace);
         assert_eq!(r.traffic.demand_reads, 1, "one DRAM read, two waiters");
         assert_eq!(r.accesses, 2);
+    }
+
+    #[test]
+    fn merge_storm_spills_past_inline_waiters() {
+        // Four demands on one in-flight fill: two waiters fit inline, the
+        // rest spill — all four must still be charged residual latency.
+        let sys = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()));
+        let trace = Trace::new("t", vec![read(0, 0), read(0, 1), read(0, 2), read(0, 3)]);
+        let r = sys.run(&trace);
+        assert_eq!(r.traffic.demand_reads, 1, "one DRAM read, four waiters");
+        assert_eq!(r.accesses, 4);
+        assert!(r.amat_cycles > 40.0, "all waiters paid memory latency: {}", r.amat_cycles);
     }
 
     #[test]

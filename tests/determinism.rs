@@ -22,6 +22,21 @@ fn full_simulation_is_deterministic() {
 }
 
 #[test]
+fn results_are_hasher_independent() {
+    use planaria_hash::{set_global_hasher, HasherKind};
+    // Any decision that leaks hash-map iteration order into the simulation
+    // (e.g. a victim scan tie-broken by whichever entry the map yields
+    // first) would show up here as a result diff between hashers. Maps
+    // capture the global kind at construction, so each run below is
+    // internally consistent even though other tests share the process.
+    set_global_hasher(HasherKind::Std);
+    let under_std = run_app(AppId::HoK, PrefetcherKind::Planaria, 25_000);
+    set_global_hasher(HasherKind::Fx);
+    let under_fx = run_app(AppId::HoK, PrefetcherKind::Planaria, 25_000);
+    assert_eq!(under_std, under_fx, "results must not depend on hash-map iteration order");
+}
+
+#[test]
 fn scaling_controls_length_and_extends_coverage() {
     // (Exact prefix preservation does not hold: the per-component shares
     // change with the target length, so the merge boundary shifts.)

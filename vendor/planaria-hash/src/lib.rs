@@ -1,0 +1,332 @@
+//! Deterministic fast hashing for the simulator's hot-path maps.
+//!
+//! The std `HashMap` default (SipHash-1-3 behind `RandomState`) is the
+//! single largest per-access cost on the simulation hot path: every
+//! in-flight-fill probe, MSHR probe and SLP table lookup hashes a `u64`
+//! key through a DoS-resistant hasher the simulator does not need — all
+//! keys are page/block numbers derived from synthetic traces, never
+//! attacker-controlled. This crate vendors an FxHash-style multiply-rotate
+//! hasher (the `rustc-hash` algorithm; the build environment has no
+//! registry access) that is
+//!
+//! * **fast** — one rotate, one xor, one multiply per 8-byte word;
+//! * **deterministic** — no per-process or per-instance seeding, so a
+//!   simulation produces the same map behaviour on every run and machine.
+//!
+//! Simulation *results* must never depend on hash iteration order (every
+//! map-order-sensitive decision breaks ties on the key — see
+//! `AccumulationTable`'s victim selection). To let the test suite prove
+//! that, [`SelectableBuildHasher`] — the `S` used by [`FastHashMap`] — can
+//! be globally switched to std's deterministic SipHash
+//! ([`std::collections::hash_map::DefaultHasher`]) via
+//! [`set_global_hasher`]; `tests/determinism.rs` runs one grid cell under
+//! each hasher and asserts bit-identical results.
+//!
+//! # Examples
+//!
+//! ```
+//! use planaria_hash::FastHashMap;
+//!
+//! let mut m: FastHashMap<u64, &str> = FastHashMap::default();
+//! m.insert(42, "answer");
+//! assert_eq!(m.get(&42), Some(&"answer"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The multiplier of the FxHash mix function (from rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style streaming hasher: `hash = (rotl5(hash) ^ word) * SEED`
+/// per 8-byte word. Not DoS-resistant — only for trusted keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Length-tag the tail so "ab" and "ab\0" hash differently.
+            self.mix(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.mix(n as u64);
+        self.mix((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// A stateless, seedless [`BuildHasher`] producing [`FxHasher`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` hashed with pure [`FxBuildHasher`] (no runtime switch).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed with pure [`FxBuildHasher`] (no runtime switch).
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Which hash function the hot-path maps use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HasherKind {
+    /// FxHash (the default): fast, deterministic.
+    Fx,
+    /// std SipHash-1-3 with fixed zero keys ([`DefaultHasher::new`]) —
+    /// also deterministic, used to prove results are hasher-independent.
+    Std,
+}
+
+/// Process-wide default captured by [`SelectableBuildHasher::default`]:
+/// 0 = Fx, 1 = Std.
+static GLOBAL_KIND: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the hash function that newly created [`FastHashMap`]s /
+/// [`FastHashSet`]s will use. Existing maps keep the kind they were
+/// built with, so each map stays internally consistent.
+///
+/// This is a test knob: `tests/determinism.rs` flips it to prove a whole
+/// simulation's results do not depend on the hasher. Production code
+/// never calls it.
+pub fn set_global_hasher(kind: HasherKind) {
+    GLOBAL_KIND.store(matches!(kind, HasherKind::Std) as u8, Ordering::SeqCst);
+}
+
+/// The hash function newly created maps will capture.
+pub fn global_hasher() -> HasherKind {
+    match GLOBAL_KIND.load(Ordering::SeqCst) {
+        0 => HasherKind::Fx,
+        _ => HasherKind::Std,
+    }
+}
+
+/// A [`BuildHasher`] fixed at construction to one of the two
+/// [`HasherKind`]s; `Default` captures the current global kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectableBuildHasher {
+    kind: HasherKind,
+}
+
+impl SelectableBuildHasher {
+    /// A builder producing hashers of the given kind.
+    pub fn new(kind: HasherKind) -> Self {
+        Self { kind }
+    }
+}
+
+impl Default for SelectableBuildHasher {
+    fn default() -> Self {
+        Self { kind: global_hasher() }
+    }
+}
+
+impl BuildHasher for SelectableBuildHasher {
+    type Hasher = SelectableHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> SelectableHasher {
+        match self.kind {
+            HasherKind::Fx => SelectableHasher::Fx(FxHasher::default()),
+            HasherKind::Std => SelectableHasher::Std(DefaultHasher::new()),
+        }
+    }
+}
+
+/// The hasher behind [`SelectableBuildHasher`].
+#[derive(Debug, Clone)]
+pub enum SelectableHasher {
+    /// FxHash state.
+    Fx(FxHasher),
+    /// std SipHash state.
+    Std(DefaultHasher),
+}
+
+macro_rules! forward_write {
+    ($($method:ident: $ty:ty),* $(,)?) => {
+        $(
+            #[inline]
+            fn $method(&mut self, n: $ty) {
+                match self {
+                    SelectableHasher::Fx(h) => h.$method(n),
+                    SelectableHasher::Std(h) => h.$method(n),
+                }
+            }
+        )*
+    };
+}
+
+impl Hasher for SelectableHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        match self {
+            SelectableHasher::Fx(h) => h.finish(),
+            SelectableHasher::Std(h) => h.finish(),
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        match self {
+            SelectableHasher::Fx(h) => h.write(bytes),
+            SelectableHasher::Std(h) => h.write(bytes),
+        }
+    }
+
+    forward_write! {
+        write_u8: u8,
+        write_u16: u16,
+        write_u32: u32,
+        write_u64: u64,
+        write_u128: u128,
+        write_usize: usize,
+    }
+}
+
+/// The hot-path `HashMap`: FxHash by default, globally switchable to std
+/// SipHash for hasher-independence testing.
+pub type FastHashMap<K, V> = HashMap<K, V, SelectableBuildHasher>;
+
+/// The hot-path `HashSet` counterpart of [`FastHashMap`].
+pub type FastHashSet<T> = HashSet<T, SelectableBuildHasher>;
+
+/// A [`FastHashMap`] pre-sized for `capacity` entries.
+pub fn map_with_capacity<K, V>(capacity: usize) -> FastHashMap<K, V> {
+    FastHashMap::with_capacity_and_hasher(capacity, SelectableBuildHasher::default())
+}
+
+/// A [`FastHashSet`] pre-sized for `capacity` entries.
+pub fn set_with_capacity<T>(capacity: usize) -> FastHashSet<T> {
+    FastHashSet::with_capacity_and_hasher(capacity, SelectableBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx_of(n: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(n);
+        h.finish()
+    }
+
+    #[test]
+    fn fx_is_deterministic_and_spreads() {
+        assert_eq!(fx_of(42), fx_of(42));
+        assert_ne!(fx_of(1), fx_of(2));
+        // Consecutive small keys must not collide in the low bits the
+        // hashbrown layout uses for bucket selection.
+        let low: std::collections::HashSet<u64> = (0..1000).map(|n| fx_of(n) >> 57).collect();
+        assert!(low.len() > 16, "top-7-bit control bytes collapsed: {}", low.len());
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_only_in_length_handling() {
+        // Tail length is tagged: a zero-padded prefix must differ.
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        let mut b = FxHasher::default();
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish());
+        // Exactly 8 bytes goes through the word path.
+        let mut c = FxHasher::default();
+        c.write(&7u64.to_le_bytes());
+        let mut d = FxHasher::default();
+        d.write_u64(7);
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn maps_behave_identically_under_both_hashers() {
+        for kind in [HasherKind::Fx, HasherKind::Std] {
+            let mut m: HashMap<u64, u64, SelectableBuildHasher> =
+                HashMap::with_hasher(SelectableBuildHasher::new(kind));
+            for i in 0..500u64 {
+                m.insert(i * 64, i);
+            }
+            for i in 0..500u64 {
+                assert_eq!(m.get(&(i * 64)), Some(&i), "{kind:?}");
+            }
+            assert_eq!(m.len(), 500);
+        }
+    }
+
+    #[test]
+    fn global_switch_affects_new_builders_only() {
+        let before = SelectableBuildHasher::default();
+        set_global_hasher(HasherKind::Std);
+        let during = SelectableBuildHasher::default();
+        set_global_hasher(HasherKind::Fx);
+        assert_eq!(before.kind, global_hasher());
+        assert_eq!(during.kind, HasherKind::Std);
+    }
+
+    #[test]
+    fn presized_constructors() {
+        let m: FastHashMap<u64, ()> = map_with_capacity(64);
+        assert!(m.capacity() >= 64);
+        let s: FastHashSet<u64> = set_with_capacity(64);
+        assert!(s.capacity() >= 64);
+    }
+}
