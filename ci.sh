@@ -28,7 +28,30 @@ if [[ "${1:-}" != "fast" ]]; then
     cargo run --release -q -p planaria-bench --bin perf_baseline
     # Fail the gate on a malformed measurement file.
     cargo run --release -q -p planaria-bench --bin perf_baseline -- --check BENCH_perf.json
+
+    step "contention sweep (closed-loop traffic model smoke test)"
+    cargo run --release -q -p planaria-bench --bin contention -- \
+        --len 4000 --apps hok --windows 2,8 --out target/contention_ci.json
+    cargo run --release -q -p planaria-bench --bin contention -- --check target/contention_ci.json
 fi
+
+step "markdown link check (local targets must exist)"
+link_fail=0
+for doc in README.md DESIGN.md EXPERIMENTS.md ARCHITECTURE.md; do
+    [[ -f "$doc" ]] || { printf '  %s: file missing\n' "$doc"; link_fail=1; continue; }
+    # Every local markdown link target (not http/mailto/#anchor) must exist.
+    while IFS= read -r target; do
+        case "$target" in
+            http*|mailto:*|'#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        if [[ ! -e "$path" ]]; then
+            printf '  %s: broken link -> %s\n' "$doc" "$target"
+            link_fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed 's/^](//; s/)$//')
+done
+[[ "$link_fail" -eq 0 ]] || { echo "markdown link check failed"; exit 1; }
 
 step "cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -17,6 +17,7 @@
 //!   neither replacement tweaks nor modest capacity growth rescue the SC).
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod neighbors;
 pub mod overlap;

@@ -21,6 +21,7 @@
 //! memory-system simulator treat them interchangeably with Planaria.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 mod bop;
 mod simple;

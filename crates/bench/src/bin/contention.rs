@@ -1,0 +1,207 @@
+//! Closed-loop contention sweep — per-device slowdown and fairness.
+//!
+//! Replays each selected application once open-loop (the figure pipeline's
+//! default) and once closed-loop per `--windows` entry, with every device
+//! limited to that many outstanding requests. Emits a
+//! `planaria-contention-v1` JSON document with per-device slowdown and the
+//! max/min unfairness metric per (app, window), plus a human-readable
+//! table on stderr.
+//!
+//! ```sh
+//! cargo run --release -p planaria-bench --bin contention -- \
+//!     [--len N] [--apps CFM,HoK,...] [--threads N] [--windows 2,8,32] [--out FILE]
+//! cargo run --release -p planaria-bench --bin contention -- --check FILE
+//! ```
+
+use planaria_bench::json;
+use planaria_sim::experiment::PrefetcherKind;
+use planaria_sim::{Cell, Job, Runner, TrafficConfig};
+use planaria_trace::apps::AppId;
+
+/// Default accesses per application trace (kept small enough for CI).
+const DEFAULT_LEN: usize = 30_000;
+
+/// Default window sweep: near-serial, moderate, near-open-loop.
+const DEFAULT_WINDOWS: [usize; 3] = [2, 8, 32];
+
+fn main() {
+    let mut len = DEFAULT_LEN;
+    let mut apps: Vec<AppId> = AppId::ALL.to_vec();
+    let mut threads: Option<usize> = None;
+    let mut windows: Vec<usize> = DEFAULT_WINDOWS.to_vec();
+    let mut out_path = String::from("target/contention.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--len" => {
+                let v = args.next().expect("--len needs a value");
+                len = v.replace('_', "").parse().expect("--len must be an integer");
+            }
+            "--apps" => {
+                let v = args.next().expect("--apps needs a comma-separated list");
+                apps = v
+                    .split(',')
+                    .map(|abbr| {
+                        AppId::ALL
+                            .into_iter()
+                            .find(|a| a.abbr().eq_ignore_ascii_case(abbr.trim()))
+                            .unwrap_or_else(|| panic!("unknown app abbreviation {abbr:?}"))
+                    })
+                    .collect();
+            }
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                let n: usize = v.parse().expect("--threads must be an integer");
+                assert!(n > 0, "--threads must be positive");
+                threads = Some(n);
+            }
+            "--windows" => {
+                let v = args.next().expect("--windows needs a comma-separated list");
+                windows = v
+                    .split(',')
+                    .map(|w| {
+                        let w: usize = w.trim().parse().expect("--windows entries are integers");
+                        assert!(w > 0, "--windows entries must be positive");
+                        w
+                    })
+                    .collect();
+                assert!(!windows.is_empty(), "--windows needs at least one entry");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => {
+                let path = args.next().expect("--check needs a path");
+                check(&path);
+                return;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: contention [--len N] [--apps CFM,HoK,...] [--threads N] \
+                     [--windows 2,8,32] [--out FILE] | --check FILE"
+                );
+                return;
+            }
+            other => panic!("unknown argument {other:?} (try --help)"),
+        }
+    }
+
+    let kind = PrefetcherKind::Planaria;
+    eprintln!(
+        "contention: {} apps x (open loop + {} windows), {len} accesses/app",
+        apps.len(),
+        windows.len()
+    );
+
+    // Per app: one open-loop reference cell, then one closed-loop cell per
+    // window. Cells are independent, so the parallel runner fans them out.
+    let jobs: Vec<Job> = apps
+        .iter()
+        .flat_map(|&app| {
+            std::iter::once(Job::grid_cell(app, kind, len)).chain(
+                windows
+                    .iter()
+                    .map(move |&w| Job::grid_cell(app, kind, len).traffic(TrafficConfig::new(w))),
+            )
+        })
+        .collect();
+    let runner = match threads {
+        Some(n) => Runner::new(n),
+        None => Runner::auto(),
+    };
+    let report = runner.run(jobs);
+    eprintln!("  {}", report.summary());
+
+    let per_app = windows.len() + 1;
+    assert!(report.cells.len().is_multiple_of(per_app));
+    let rows: Vec<(&AppId, &[Cell])> = apps.iter().zip(report.cells.chunks(per_app)).collect();
+
+    for (app, cells) in &rows {
+        let open = &cells[0];
+        eprintln!("  {:<5} open-loop AMAT {:>8.1}", app.abbr(), open.result.amat_cycles);
+        for cell in &cells[1..] {
+            let cl = cell.closed_loop.as_ref().expect("closed-loop cell");
+            let worst = cl
+                .devices
+                .iter()
+                .max_by(|a, b| a.slowdown.total_cmp(&b.slowdown))
+                .expect("at least one device");
+            eprintln!(
+                "    window {:>3}  AMAT {:>8.1}  unfairness {:>6.3}  worst {} x{:.3}",
+                cl.window, cell.result.amat_cycles, cl.unfairness, worst.device, worst.slowdown
+            );
+        }
+    }
+
+    let doc = render(len, &windows, &rows);
+    json::validate(&doc).expect("contention emitted malformed JSON");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &doc).expect("write contention JSON");
+    eprintln!("wrote {out_path}");
+}
+
+/// Validates a previously written file; exits non-zero on bad JSON.
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
+    if let Err(e) = json::validate(&text) {
+        eprintln!("{path}: malformed JSON: {e}");
+        std::process::exit(1);
+    }
+    if !text.contains("\"schema\": \"planaria-contention-v1\"") {
+        eprintln!("{path}: missing planaria-contention-v1 schema marker");
+        std::process::exit(1);
+    }
+    println!("{path}: well-formed planaria-contention-v1 JSON");
+}
+
+/// Renders the sweep document (fixed key order, so diffs are clean).
+fn render(len: usize, windows: &[usize], rows: &[(&AppId, &[Cell])]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"planaria-contention-v1\",\n");
+    s.push_str(&format!("  \"len_per_app\": {len},\n"));
+    s.push_str(&format!(
+        "  \"windows\": [{}],\n",
+        windows.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    s.push_str("  \"apps\": [\n");
+    for (ai, (app, cells)) in rows.iter().enumerate() {
+        let open = &cells[0];
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"app\": \"{}\",\n", app.abbr()));
+        s.push_str("      \"open_loop\": {\n");
+        s.push_str(&format!("        \"amat_cycles\": {:.3},\n", open.result.amat_cycles));
+        s.push_str(&format!("        \"hit_rate\": {:.6}\n", open.result.hit_rate));
+        s.push_str("      },\n");
+        s.push_str("      \"closed_loop\": [\n");
+        for (wi, cell) in cells[1..].iter().enumerate() {
+            let cl = cell.closed_loop.as_ref().expect("closed-loop cell");
+            s.push_str("        {\n");
+            s.push_str(&format!("          \"window\": {},\n", cl.window));
+            s.push_str(&format!("          \"amat_cycles\": {:.3},\n", cell.result.amat_cycles));
+            s.push_str(&format!("          \"unfairness\": {:.6},\n", cl.unfairness));
+            s.push_str("          \"devices\": [\n");
+            for (di, d) in cl.devices.iter().enumerate() {
+                let comma = if di + 1 == cl.devices.len() { "" } else { "," };
+                s.push_str(&format!(
+                    "            {{\"device\": \"{}\", \"accesses\": {}, \
+                     \"open_loop_finish\": {}, \"derived_finish\": {}, \
+                     \"slowdown\": {:.6}}}{comma}\n",
+                    d.device, d.accesses, d.open_loop_finish, d.derived_finish, d.slowdown
+                ));
+            }
+            s.push_str("          ]\n");
+            let comma = if wi + 2 == cells.len() { "" } else { "," };
+            s.push_str(&format!("        }}{comma}\n"));
+        }
+        s.push_str("      ]\n");
+        let comma = if ai + 1 == rows.len() { "" } else { "," };
+        s.push_str(&format!("    }}{comma}\n"));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

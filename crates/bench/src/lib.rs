@@ -21,6 +21,7 @@
 //! cell, simulated-cycle throughput) lands on stderr after each grid.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod json;
 

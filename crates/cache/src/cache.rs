@@ -1,11 +1,12 @@
 //! The set-associative cache model.
 
-use planaria_common::{AccessKind, PhysAddr, PrefetchOrigin};
+use planaria_common::{AccessKind, DeviceId, PhysAddr, PrefetchOrigin};
 
 use crate::replacement::{
     duel_role, DuelRole, ReplTable, BRRIP_LONG_PERIOD, PSEL_MAX, PSEL_MID, SRRIP_INSERT_RRPV,
     SRRIP_MAX_RRPV,
 };
+use crate::stats::DeviceCacheStats;
 use crate::{CacheConfig, CacheStats, ReplacementKind};
 
 /// Tag stored for a line that holds nothing. Real tags are
@@ -22,6 +23,18 @@ const META_PREFETCHED: u8 = 1 << 1;
 /// Figure 9 attribution even after a demand touch (bits 2-3: 0 = demand
 /// fill, otherwise `PrefetchOrigin` discriminant + 1).
 const META_ORIGIN_SHIFT: u8 = 2;
+/// Per-line metadata byte: the [`DeviceId::index`] of the device whose
+/// request filled the line (bits 4-7; 12 devices fit the nibble). Lets an
+/// eviction attribute pollution to the device that triggered the fill.
+const META_DEVICE_SHIFT: u8 = 4;
+
+fn encode_device(device: DeviceId) -> u8 {
+    (device.index() as u8) << META_DEVICE_SHIFT
+}
+
+fn decode_device(meta: u8) -> DeviceId {
+    DeviceId::from_index(((meta >> META_DEVICE_SHIFT) & 0x0F).min(11) as usize)
+}
 
 fn encode_origin(origin: Option<PrefetchOrigin>) -> u8 {
     let o = match origin {
@@ -75,6 +88,9 @@ pub struct EvictedLine {
     /// prefetch — kept so pollution is attributable per sub-prefetcher.
     /// `Some` even after a demand touch cleared `was_unused_prefetch`.
     pub origin: Option<PrefetchOrigin>,
+    /// The device whose request filled the victim line (the trigger device
+    /// for prefetch fills) — lets pollution be attributed per device.
+    pub device: DeviceId,
 }
 
 /// A set-associative, write-back, write-allocate cache model.
@@ -100,6 +116,8 @@ pub struct SetAssocCache {
     meta: Vec<u8>,
     repl: ReplTable,
     stats: CacheStats,
+    /// Per-device twin of `stats` (see [`DeviceCacheStats::conserves`]).
+    device_stats: [DeviceCacheStats; DeviceId::COUNT],
     tick: u64,
     rng: u64,
     /// DRRIP set-dueling policy selector (10-bit saturating counter).
@@ -124,6 +142,7 @@ impl SetAssocCache {
             meta: vec![0; sets * config.ways],
             repl: ReplTable::new(config.replacement, sets, config.ways),
             stats: CacheStats::default(),
+            device_stats: [DeviceCacheStats::default(); DeviceId::COUNT],
             tick: 0,
             rng: 0x9E37_79B9_7F4A_7C15,
             psel: PSEL_MID,
@@ -170,9 +189,20 @@ impl SetAssocCache {
         &self.stats
     }
 
+    /// Accumulated per-device statistics, indexed by [`DeviceId::index`].
+    ///
+    /// Summing any column over all rows reproduces the matching aggregate
+    /// counter in [`SetAssocCache::stats`] exactly
+    /// ([`DeviceCacheStats::conserves`]).
+    pub fn device_stats(&self) -> &[DeviceCacheStats; DeviceId::COUNT] {
+        debug_assert!(DeviceCacheStats::conserves(&self.device_stats, &self.stats));
+        &self.device_stats
+    }
+
     /// Resets statistics (e.g. after a warm-up phase).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+        self.device_stats = [DeviceCacheStats::default(); DeviceId::COUNT];
     }
 
     fn index(&self, addr: PhysAddr) -> (usize, u64) {
@@ -187,11 +217,39 @@ impl SetAssocCache {
         self.tags[base..base + self.config.ways].contains(&tag)
     }
 
-    /// Performs a demand access (updates replacement state and stats).
+    /// Performs a demand access (updates replacement state and stats),
+    /// attributing it to the default device ([`DeviceId::Cpu`]`(0)`).
     ///
     /// On a miss the caller is responsible for fetching the block and
     /// calling [`SetAssocCache::fill`] once the data arrives.
     pub fn access(&mut self, addr: PhysAddr, kind: AccessKind) -> AccessResult {
+        self.access_by(addr, kind, DeviceId::default())
+    }
+
+    /// Performs a demand access attributed to `device`: identical to
+    /// [`SetAssocCache::access`] except the per-device statistics row for
+    /// `device` is updated alongside the aggregate counters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use planaria_cache::{CacheConfig, SetAssocCache};
+    /// use planaria_common::{AccessKind, DeviceId, PhysAddr};
+    ///
+    /// let mut sc = SetAssocCache::new(CacheConfig::system_cache());
+    /// let addr = PhysAddr::new(0x4000);
+    /// sc.access_by(addr, AccessKind::Read, DeviceId::Npu); // cold miss
+    /// sc.fill(addr, None);
+    /// sc.access_by(addr, AccessKind::Read, DeviceId::Npu); // hit
+    /// let npu = &sc.device_stats()[DeviceId::Npu.index()];
+    /// assert_eq!((npu.demand_hits, npu.demand_misses), (1, 1));
+    /// ```
+    pub fn access_by(
+        &mut self,
+        addr: PhysAddr,
+        kind: AccessKind,
+        device: DeviceId,
+    ) -> AccessResult {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
@@ -211,13 +269,16 @@ impl SetAssocCache {
                 }
                 self.repl.on_hit(base, way, tick);
                 self.stats.demand_hits += 1;
+                self.device_stats[device.index()].demand_hits += 1;
                 if first_use.is_some() {
                     self.stats.record_useful(first_use);
+                    self.device_stats[device.index()].record_useful(first_use);
                 }
                 AccessResult::Hit { first_use_of_prefetch: first_use }
             }
             None => {
                 self.stats.demand_misses += 1;
+                self.device_stats[device.index()].demand_misses += 1;
                 // DRRIP set dueling: a miss in a leader set is a vote
                 // against that leader's policy.
                 if self.config.replacement == ReplacementKind::Drrip {
@@ -232,7 +293,8 @@ impl SetAssocCache {
         }
     }
 
-    /// Fills a block, evicting a victim if the set is full.
+    /// Fills a block, evicting a victim if the set is full, attributing the
+    /// fill to the default device ([`DeviceId::Cpu`]`(0)`).
     ///
     /// `prefetched` is `Some(origin)` for prefetch fills and `None` for
     /// demand fills. Filling a block that is already present is a no-op
@@ -242,6 +304,18 @@ impl SetAssocCache {
         &mut self,
         addr: PhysAddr,
         prefetched: Option<PrefetchOrigin>,
+    ) -> Option<EvictedLine> {
+        self.fill_by(addr, prefetched, DeviceId::default())
+    }
+
+    /// Like [`SetAssocCache::fill`], but records `device` (the requester
+    /// for demand fills, the trigger device for prefetch fills) in the
+    /// line's metadata so a later eviction can attribute the victim.
+    pub fn fill_by(
+        &mut self,
+        addr: PhysAddr,
+        prefetched: Option<PrefetchOrigin>,
+        device: DeviceId,
     ) -> Option<EvictedLine> {
         self.tick += 1;
         let tick = self.tick;
@@ -285,13 +359,15 @@ impl SetAssocCache {
                 dirty: vm & META_DIRTY != 0,
                 was_unused_prefetch: vm & META_PREFETCHED != 0,
                 origin: decode_origin(vm),
+                device: decode_device(vm),
             })
         } else {
             None
         };
         self.tags[base + way] = tag;
-        self.meta[base + way] =
-            encode_origin(prefetched) | if prefetched.is_some() { META_PREFETCHED } else { 0 };
+        self.meta[base + way] = encode_device(device)
+            | encode_origin(prefetched)
+            | if prefetched.is_some() { META_PREFETCHED } else { 0 };
         self.repl.on_fill(base, way, tick, insert_rrpv);
         evicted
     }
@@ -510,5 +586,37 @@ mod tests {
         c.access(PhysAddr::new(0x40), AccessKind::Read);
         c.reset_stats();
         assert_eq!(*c.stats(), CacheStats::default());
+        assert_eq!(c.device_stats(), &[crate::DeviceCacheStats::default(); DeviceId::COUNT]);
+    }
+
+    #[test]
+    fn per_device_rows_conserve_aggregate() {
+        let mut c = tiny();
+        let devices = [DeviceId::Cpu(0), DeviceId::Cpu(3), DeviceId::Gpu, DeviceId::Dsp];
+        for (i, &d) in devices.iter().enumerate() {
+            let a = PhysAddr::new(i as u64 * BLOCK_SIZE);
+            assert!(!c.access_by(a, AccessKind::Read, d).is_hit());
+            c.fill_by(a, Some(PrefetchOrigin::Slp), d);
+            assert!(c.access_by(a, AccessKind::Read, d).is_hit(), "useful prefetch");
+        }
+        // Device-less access lands on the default row; conservation holds.
+        c.access(PhysAddr::new(0x40_000), AccessKind::Read);
+        let rows = c.device_stats();
+        assert!(crate::DeviceCacheStats::conserves(rows, c.stats()));
+        assert_eq!(rows[DeviceId::Gpu.index()].demand_hits, 1);
+        assert_eq!(rows[DeviceId::Gpu.index()].useful_slp, 1);
+        assert_eq!(rows[DeviceId::Cpu(0).index()].demand_misses, 2);
+    }
+
+    #[test]
+    fn eviction_reports_filling_device() {
+        let mut c = tiny();
+        let (a, b, d) = (addr_for(3, 1, 4), addr_for(3, 2, 4), addr_for(3, 3, 4));
+        c.fill_by(a, Some(PrefetchOrigin::Tlp), DeviceId::Npu);
+        c.fill_by(b, None, DeviceId::Cpu(5));
+        c.access(b, AccessKind::Read); // b MRU, a LRU
+        let evicted = c.fill(d, None).expect("eviction");
+        assert_eq!(evicted.device, DeviceId::Npu, "victim keeps its filler's device");
+        assert!(evicted.was_unused_prefetch);
     }
 }

@@ -28,6 +28,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 mod cache;
 mod config;
@@ -41,4 +42,4 @@ pub use config::{CacheConfig, ConfigError};
 pub use mshr::{MshrFile, MshrStatus};
 pub use queue::PrefetchQueue;
 pub use replacement::ReplacementKind;
-pub use stats::CacheStats;
+pub use stats::{CacheStats, DeviceCacheStats};

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use planaria_common::PrefetchOrigin;
+use planaria_common::{DeviceId, PrefetchOrigin};
 
 /// Counters maintained by [`crate::SetAssocCache`].
 ///
@@ -72,6 +72,72 @@ impl CacheStats {
         } else {
             self.useful_prefetches as f64 / denom as f64
         }
+    }
+
+    pub(crate) fn record_useful(&mut self, origin: Option<PrefetchOrigin>) {
+        self.useful_prefetches += 1;
+        match origin {
+            Some(PrefetchOrigin::Slp) => self.useful_slp += 1,
+            Some(PrefetchOrigin::Tlp) => self.useful_tlp += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Per-device demand and usefulness counters, one row per [`DeviceId`].
+///
+/// Maintained by [`crate::SetAssocCache::access_by`] alongside the
+/// aggregate [`CacheStats`]; each counter here is bumped if and only if
+/// its aggregate twin is, so summing any column over all devices
+/// reproduces the aggregate exactly (asserted by
+/// [`DeviceCacheStats::conserves`] and the `tests/closed_loop.rs`
+/// conservation tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceCacheStats {
+    /// Demand accesses from this device that hit.
+    pub demand_hits: u64,
+    /// Demand accesses from this device that missed.
+    pub demand_misses: u64,
+    /// First demand touches of prefetched lines, credited to the touching
+    /// device (it is the one whose miss the prefetch hid).
+    pub useful_prefetches: u64,
+    /// Useful prefetches from SLP-filled lines (Figure 9 split).
+    pub useful_slp: u64,
+    /// Useful prefetches from TLP-filled lines (Figure 9 split).
+    pub useful_tlp: u64,
+}
+
+impl DeviceCacheStats {
+    /// Demand accesses from this device.
+    pub fn demand_accesses(&self) -> u64 {
+        self.demand_hits + self.demand_misses
+    }
+
+    /// Checks that summing per-device rows reproduces the aggregate for
+    /// every shared counter — the conservation invariant per-device
+    /// attribution must never break.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use planaria_cache::{CacheConfig, SetAssocCache};
+    /// use planaria_common::{AccessKind, DeviceId, PhysAddr};
+    ///
+    /// let mut c = SetAssocCache::new(CacheConfig::system_cache());
+    /// c.access_by(PhysAddr::new(0x40), AccessKind::Read, DeviceId::Gpu);
+    /// c.access_by(PhysAddr::new(0x80), AccessKind::Read, DeviceId::Cpu(2));
+    /// assert!(planaria_cache::DeviceCacheStats::conserves(
+    ///     c.device_stats(),
+    ///     c.stats(),
+    /// ));
+    /// ```
+    pub fn conserves(rows: &[DeviceCacheStats; DeviceId::COUNT], total: &CacheStats) -> bool {
+        let sum = |f: fn(&DeviceCacheStats) -> u64| rows.iter().map(f).sum::<u64>();
+        sum(|r| r.demand_hits) == total.demand_hits
+            && sum(|r| r.demand_misses) == total.demand_misses
+            && sum(|r| r.useful_prefetches) == total.useful_prefetches
+            && sum(|r| r.useful_slp) == total.useful_slp
+            && sum(|r| r.useful_tlp) == total.useful_tlp
     }
 
     pub(crate) fn record_useful(&mut self, origin: Option<PrefetchOrigin>) {

@@ -63,9 +63,86 @@ pub enum DeviceId {
 }
 
 impl DeviceId {
+    /// Number of distinct devices: eight CPU cores plus GPU/NPU/ISP/DSP.
+    pub const COUNT: usize = 12;
+
+    /// Every device, ordered by [`DeviceId::index`] (the canonical order
+    /// for per-device statistics tables).
+    pub const ALL: [DeviceId; DeviceId::COUNT] = [
+        DeviceId::Cpu(0),
+        DeviceId::Cpu(1),
+        DeviceId::Cpu(2),
+        DeviceId::Cpu(3),
+        DeviceId::Cpu(4),
+        DeviceId::Cpu(5),
+        DeviceId::Cpu(6),
+        DeviceId::Cpu(7),
+        DeviceId::Gpu,
+        DeviceId::Npu,
+        DeviceId::Isp,
+        DeviceId::Dsp,
+    ];
+
     /// Returns `true` if the device is a CPU core.
     pub const fn is_cpu(self) -> bool {
         matches!(self, DeviceId::Cpu(_))
+    }
+
+    /// A dense index in `0..`[`DeviceId::COUNT`]: CPU cores map to their
+    /// core number (clamped to 7), then GPU, NPU, ISP, DSP.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use planaria_common::DeviceId;
+    ///
+    /// assert_eq!(DeviceId::Cpu(3).index(), 3);
+    /// assert_eq!(DeviceId::Gpu.index(), 8);
+    /// assert_eq!(DeviceId::ALL[DeviceId::Dsp.index()], DeviceId::Dsp);
+    /// ```
+    pub const fn index(self) -> usize {
+        match self {
+            DeviceId::Cpu(i) => {
+                if i > 7 {
+                    7
+                } else {
+                    i as usize
+                }
+            }
+            DeviceId::Gpu => 8,
+            DeviceId::Npu => 9,
+            DeviceId::Isp => 10,
+            DeviceId::Dsp => 11,
+        }
+    }
+
+    /// Inverse of [`DeviceId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= DeviceId::COUNT`.
+    pub const fn from_index(index: usize) -> DeviceId {
+        DeviceId::ALL[index]
+    }
+
+    /// Stable short label (`"cpu0"`..`"cpu7"`, `"gpu"`, `"npu"`, `"isp"`,
+    /// `"dsp"`), identical to the [`core::fmt::Display`] rendering but
+    /// available as a `&'static str` for table headers and JSON keys.
+    pub const fn label(self) -> &'static str {
+        match self {
+            DeviceId::Cpu(0) => "cpu0",
+            DeviceId::Cpu(1) => "cpu1",
+            DeviceId::Cpu(2) => "cpu2",
+            DeviceId::Cpu(3) => "cpu3",
+            DeviceId::Cpu(4) => "cpu4",
+            DeviceId::Cpu(5) => "cpu5",
+            DeviceId::Cpu(6) => "cpu6",
+            DeviceId::Cpu(_) => "cpu7",
+            DeviceId::Gpu => "gpu",
+            DeviceId::Npu => "npu",
+            DeviceId::Isp => "isp",
+            DeviceId::Dsp => "dsp",
+        }
     }
 }
 
@@ -151,6 +228,18 @@ mod tests {
         assert_eq!(DeviceId::Gpu.to_string(), "gpu");
         assert!(DeviceId::Cpu(0).is_cpu());
         assert!(!DeviceId::Npu.is_cpu());
+    }
+
+    #[test]
+    fn device_index_round_trips() {
+        for (i, d) in DeviceId::ALL.into_iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(DeviceId::from_index(i), d);
+            assert_eq!(d.label(), d.to_string());
+        }
+        // Out-of-range core numbers clamp rather than collide with GPU+.
+        assert_eq!(DeviceId::Cpu(200).index(), 7);
+        assert_eq!(DeviceId::Cpu(200).label(), "cpu7");
     }
 
     #[test]

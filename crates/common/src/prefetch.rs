@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::{Cycle, PhysAddr};
+use crate::{Cycle, DeviceId, PhysAddr};
 
 /// Which (sub-)prefetcher generated a request.
 ///
@@ -43,12 +43,21 @@ pub struct PrefetchRequest {
     pub origin: PrefetchOrigin,
     /// The cycle of the demand access that triggered this prefetch.
     pub triggered_at: Cycle,
+    /// The device whose demand access triggered this prefetch.
+    ///
+    /// Prefetchers construct requests with the default device; the memory
+    /// system stamps the true trigger device centrally (every request in a
+    /// batch comes from the access currently being processed), so per-device
+    /// attribution needs no plumbing through the prefetcher implementations.
+    pub device: DeviceId,
 }
 
 impl PrefetchRequest {
-    /// Creates a prefetch request, aligning `addr` to its block base.
+    /// Creates a prefetch request, aligning `addr` to its block base. The
+    /// trigger device starts at [`DeviceId::default`]; the simulator
+    /// overwrites it with the device of the triggering demand access.
     pub const fn new(addr: PhysAddr, origin: PrefetchOrigin, triggered_at: Cycle) -> Self {
-        Self { addr: addr.block_base(), origin, triggered_at }
+        Self { addr: addr.block_base(), origin, triggered_at, device: DeviceId::Cpu(0) }
     }
 }
 

@@ -51,11 +51,13 @@ mod metrics;
 pub mod runner;
 mod system;
 pub mod table;
+mod traffic;
 
 pub use experiment::PrefetcherKind;
 pub use metrics::{DeviceStat, SimResult, TrafficBreakdown};
 pub use runner::{Cell, Job, ProgressEvent, RunReport, Runner, TraceSource};
 pub use system::{GovernorConfig, MemorySystem, SystemConfig};
+pub use traffic::{ClosedLoopReport, DeviceOutcome, TrafficConfig, TrafficModel};
 
 // Observability layer: re-exported so simulator users can configure
 // capture and consume reports without naming the telemetry crate.

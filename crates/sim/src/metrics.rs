@@ -29,21 +29,24 @@ impl TrafficBreakdown {
     }
 }
 
-/// Per-device-category demand statistics (the SC is shared by CPUs, the
-/// GPU and the accelerators; their hit rates differ).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Per-device demand statistics (the SC is shared by CPUs, the GPU and the
+/// accelerators; their hit rates and latencies differ).
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceStat {
-    /// Device-category label ("cpu", "gpu", "npu", "isp", "dsp").
+    /// Device label (`planaria_common::DeviceId::label`: "cpu0".."cpu7",
+    /// "gpu", "npu", "isp", "dsp").
     pub device: String,
-    /// Demand accesses from this category.
+    /// Demand accesses from this device.
     pub accesses: u64,
-    /// Demand hits from this category.
+    /// Demand hits from this device.
     pub hits: u64,
+    /// Average memory access time of this device's demands, in cycles.
+    pub amat_cycles: f64,
 }
 
 impl DeviceStat {
-    /// Hit rate of this category (0 when it issued no accesses).
+    /// Hit rate of this device (0 when it issued no accesses).
     pub fn hit_rate(&self) -> f64 {
         if self.accesses == 0 {
             0.0
@@ -103,8 +106,9 @@ pub struct SimResult {
     pub dram_row_hit_rate: f64,
     /// Prefetcher metadata storage (bits).
     pub storage_bits: u64,
-    /// Demand hit statistics per device category (only categories that
-    /// issued accesses appear).
+    /// Demand statistics per device, in `DeviceId::ALL` order (only
+    /// devices that issued accesses appear). Summing per-device hits and
+    /// accesses reproduces the aggregate [`SimResult::hit_rate`] exactly.
     pub device_stats: Vec<DeviceStat>,
 }
 
@@ -238,9 +242,9 @@ mod tests {
 
     #[test]
     fn device_stat_hit_rate() {
-        let d = DeviceStat { device: "gpu".into(), accesses: 10, hits: 4 };
+        let d = DeviceStat { device: "gpu".into(), accesses: 10, hits: 4, amat_cycles: 50.0 };
         assert!((d.hit_rate() - 0.4).abs() < 1e-12);
-        let z = DeviceStat { device: "npu".into(), accesses: 0, hits: 0 };
+        let z = DeviceStat { device: "npu".into(), accesses: 0, hits: 0, amat_cycles: 0.0 };
         assert_eq!(z.hit_rate(), 0.0);
     }
 

@@ -30,6 +30,7 @@ use planaria_telemetry::TelemetryReport;
 use planaria_trace::apps::{self, AppId};
 use planaria_trace::Trace;
 
+use crate::traffic::{ClosedLoopReport, TrafficConfig, TrafficModel};
 use crate::{MemorySystem, PrefetcherKind, SimResult, SystemConfig};
 
 /// Where a job's input trace comes from.
@@ -60,6 +61,9 @@ pub struct Job {
     pub config: SystemConfig,
     /// Warmup fraction forwarded to [`MemorySystem::run_with_warmup`].
     pub warmup: f64,
+    /// `Some` switches the cell to closed-loop injection via
+    /// [`TrafficModel`]; `None` (the default) replays open-loop.
+    pub traffic: Option<TrafficConfig>,
     factory: PrefetcherFactory,
 }
 
@@ -85,7 +89,14 @@ impl Job {
         source: TraceSource,
         factory: PrefetcherFactory,
     ) -> Self {
-        Self { label: label.into(), source, config: SystemConfig::default(), warmup: 0.0, factory }
+        Self {
+            label: label.into(),
+            source,
+            config: SystemConfig::default(),
+            warmup: 0.0,
+            traffic: None,
+            factory,
+        }
     }
 
     /// Replaces the system configuration.
@@ -101,7 +112,20 @@ impl Job {
     /// Panics if `warmup` is not within `0.0..1.0`.
     pub fn warmup(mut self, warmup: f64) -> Self {
         assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
+        assert!(self.traffic.is_none() || warmup == 0.0, "closed-loop jobs measure end to end");
         self.warmup = warmup;
+        self
+    }
+
+    /// Switches the cell to closed-loop injection with `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-zero warmup fraction was already set — closed-loop
+    /// cells measure the run end to end.
+    pub fn traffic(mut self, cfg: TrafficConfig) -> Self {
+        assert!(self.warmup == 0.0, "closed-loop jobs measure end to end");
+        self.traffic = Some(cfg);
         self
     }
 }
@@ -170,6 +194,9 @@ pub struct Cell {
     /// The cell's decision/lifecycle telemetry (counters always populated;
     /// events only when the job's config enabled event capture).
     pub telemetry: TelemetryReport,
+    /// Per-device slowdown/fairness outcomes, populated only for
+    /// closed-loop jobs ([`Job::traffic`]).
+    pub closed_loop: Option<ClosedLoopReport>,
 }
 
 /// Results plus batch observability, cells in job-submission order.
@@ -360,25 +387,41 @@ impl Runner {
                 TraceSource::Shared(t) => Arc::clone(t),
             };
             let sys = MemorySystem::new(job.config, (job.factory)());
-            let (result, _, telemetry) = match &self.progress {
-                Some(cb) => sys.run_core(
-                    &trace,
-                    job.warmup,
-                    self.progress_every,
-                    Some(&mut |done, hit_rate| {
-                        cb(ProgressEvent {
-                            job: i,
-                            total,
-                            label: &job.label,
-                            done,
-                            trace_len: trace.len(),
-                            hit_rate,
-                        })
-                    }),
-                ),
-                None => sys.run_core(&trace, job.warmup, usize::MAX, None),
+            let (result, telemetry, closed_loop) = if let Some(traffic) = job.traffic {
+                // Closed-loop cells derive their own injection schedule;
+                // warmup is rejected at Job construction and progress
+                // sampling does not apply.
+                let (result, closed, telemetry) =
+                    TrafficModel::new(traffic).run_telemetry(sys, &trace);
+                (result, telemetry, Some(closed))
+            } else {
+                let (result, _, telemetry) = match &self.progress {
+                    Some(cb) => sys.run_core(
+                        &trace,
+                        job.warmup,
+                        self.progress_every,
+                        Some(&mut |done, hit_rate| {
+                            cb(ProgressEvent {
+                                job: i,
+                                total,
+                                label: &job.label,
+                                done,
+                                trace_len: trace.len(),
+                                hit_rate,
+                            })
+                        }),
+                    ),
+                    None => sys.run_core(&trace, job.warmup, usize::MAX, None),
+                };
+                (result, telemetry, None)
             };
-            let cell = Cell { label: job.label.clone(), wall: t0.elapsed(), result, telemetry };
+            let cell = Cell {
+                label: job.label.clone(),
+                wall: t0.elapsed(),
+                result,
+                telemetry,
+                closed_loop,
+            };
             slots[i].set(cell).expect("each job index claimed once");
         };
 

@@ -1,7 +1,7 @@
 //! The memory-system event loop.
 
 use planaria_cache::{AccessResult, CacheConfig, PrefetchQueue, SetAssocCache};
-use planaria_common::{Cycle, MemAccess, PhysAddr, PrefetchOrigin, PrefetchRequest};
+use planaria_common::{Cycle, DeviceId, MemAccess, PhysAddr, PrefetchOrigin, PrefetchRequest};
 use planaria_core::Prefetcher;
 use planaria_dram::{Completion, DramConfig, MemoryController, Priority};
 use planaria_hash::{map_with_capacity, FastHashMap};
@@ -75,35 +75,37 @@ impl Default for SystemConfig {
     }
 }
 
-/// Arrival cycles of demand accesses waiting on one in-flight fill.
+/// Demand accesses waiting on one in-flight fill: each entry is the
+/// demand's arrival cycle plus its device index (for per-device latency
+/// attribution).
 ///
 /// Almost every fill has zero or one waiter, so the first two live inline
 /// and the steady-state miss path never heap-allocates; only pathological
 /// merge storms touch the spill vector.
 #[derive(Debug, Clone)]
 struct WaiterList {
-    inline: [Cycle; 2],
+    inline: [(Cycle, u8); 2],
     len: u8,
-    spill: Vec<Cycle>,
+    spill: Vec<(Cycle, u8)>,
 }
 
 impl Default for WaiterList {
     fn default() -> Self {
-        Self { inline: [Cycle::ZERO; 2], len: 0, spill: Vec::new() }
+        Self { inline: [(Cycle::ZERO, 0); 2], len: 0, spill: Vec::new() }
     }
 }
 
 impl WaiterList {
-    fn one(first: Cycle) -> Self {
-        Self { inline: [first, Cycle::ZERO], len: 1, spill: Vec::new() }
+    fn one(first: Cycle, device: u8) -> Self {
+        Self { inline: [(first, device), (Cycle::ZERO, 0)], len: 1, spill: Vec::new() }
     }
 
-    fn push(&mut self, cycle: Cycle) {
+    fn push(&mut self, cycle: Cycle, device: u8) {
         if (self.len as usize) < self.inline.len() {
-            self.inline[self.len as usize] = cycle;
+            self.inline[self.len as usize] = (cycle, device);
             self.len += 1;
         } else {
-            self.spill.push(cycle);
+            self.spill.push((cycle, device));
         }
     }
 
@@ -111,7 +113,7 @@ impl WaiterList {
         self.len == 0
     }
 
-    fn iter(&self) -> impl Iterator<Item = Cycle> + '_ {
+    fn iter(&self) -> impl Iterator<Item = (Cycle, u8)> + '_ {
         self.inline[..self.len as usize].iter().copied().chain(self.spill.iter().copied())
     }
 
@@ -125,11 +127,14 @@ impl WaiterList {
 struct Inflight {
     /// `Some(origin)` while the outstanding fill is still speculative.
     origin: Option<PrefetchOrigin>,
-    /// Demand accesses (their arrival cycles) waiting on this fill.
+    /// Demand accesses (arrival cycle, device index) waiting on this fill.
     waiters: WaiterList,
     /// A waiting demand was a write: the fill must land dirty
     /// (write-allocate semantics).
     wrote: bool,
+    /// Device index of the requester that caused the fill (the missing
+    /// demand's device, or the prefetch trigger's device).
+    device: u8,
 }
 
 /// The trace-driven memory system: SC + prefetcher + LPDDR4.
@@ -154,27 +159,19 @@ pub struct MemorySystem {
     prefetches_issued: u64,
     prefetches_filtered: u64,
     writebacks_dropped: u64,
-    /// (accesses, hits) per device category: cpu, gpu, npu, isp, dsp.
-    device_counts: [(u64, u64); 5],
+    /// Demand latency accumulated per device (always integer-valued, so
+    /// the per-device sums reproduce `latency_sum` exactly).
+    device_lat: [f64; DeviceId::COUNT],
+    /// When `Some`, every retired DRAM read is logged as
+    /// `(block_number, finish)` for the closed-loop traffic model to
+    /// drain; `None` (the open-loop default) costs nothing.
+    completion_log: Option<Vec<(u64, Cycle)>>,
     /// Governor state: (interval-start useful, interval-start fills,
     /// accesses into interval, currently gated).
     governor_state: GovernorState,
     first_cycle: Option<Cycle>,
     last_cycle: Cycle,
 }
-
-fn device_slot(device: planaria_common::DeviceId) -> usize {
-    use planaria_common::DeviceId::*;
-    match device {
-        Cpu(_) => 0,
-        Gpu => 1,
-        Npu => 2,
-        Isp => 3,
-        Dsp => 4,
-    }
-}
-
-const DEVICE_LABELS: [&str; 5] = ["cpu", "gpu", "npu", "isp", "dsp"];
 
 #[derive(Debug, Clone, Copy, Default)]
 struct GovernorState {
@@ -213,7 +210,8 @@ impl MemorySystem {
             prefetches_issued: 0,
             prefetches_filtered: 0,
             writebacks_dropped: 0,
-            device_counts: [(0, 0); 5],
+            device_lat: [0.0; DeviceId::COUNT],
+            completion_log: None,
             governor_state: GovernorState::default(),
             first_cycle: None,
             last_cycle: Cycle::ZERO,
@@ -264,19 +262,26 @@ impl MemorySystem {
         if c.is_write {
             return; // writeback retired; nothing waits on it
         }
+        if let Some(log) = &mut self.completion_log {
+            log.push((c.addr.block_number(), c.finish));
+        }
         let Some(entry) = self.inflight.remove(&c.addr.block_number()) else {
             return;
         };
-        // Waiting demands pay the residual memory latency.
-        for w in entry.waiters.iter() {
-            self.latency_sum += (self.cfg.sc_hit_latency + c.finish.since(w)) as f64;
+        // Waiting demands pay the residual memory latency, each charged to
+        // the device that issued the waiting demand.
+        for (w, dev) in entry.waiters.iter() {
+            let lat = (self.cfg.sc_hit_latency + c.finish.since(w)) as f64;
+            self.latency_sum += lat;
+            self.device_lat[dev as usize] += lat;
         }
         // A prefetch nobody consumed fills speculatively; anything a demand
         // waited on fills as a demand line.
         let origin = if entry.waiters.is_empty() { entry.origin } else { None };
-        let evicted = self.sc.fill(c.addr, origin);
+        let filler = DeviceId::from_index(entry.device as usize);
+        let evicted = self.sc.fill_by(c.addr, origin, filler);
         if let Some(o) = origin {
-            self.tel.lifecycle(EventKind::PrefetchFilled, o, c.addr.as_u64(), c.finish);
+            self.tel.lifecycle_for(EventKind::PrefetchFilled, o, filler, c.addr.as_u64(), c.finish);
         }
         if entry.wrote {
             self.sc.mark_dirty(c.addr);
@@ -284,9 +289,10 @@ impl MemorySystem {
         if let Some(e) = evicted {
             if e.was_unused_prefetch {
                 if let Some(o) = e.origin {
-                    self.tel.lifecycle(
+                    self.tel.lifecycle_for(
                         EventKind::PrefetchEvictedUnused,
                         o,
+                        e.device,
                         e.addr.as_u64(),
                         c.finish,
                     );
@@ -296,6 +302,38 @@ impl MemorySystem {
                 self.enqueue_writeback(e.addr, c.finish);
             }
         }
+    }
+
+    /// Advances wall-clock time without injecting an access: DRAM services
+    /// whatever it holds up to `now` and completions retire. The
+    /// closed-loop traffic model uses this to let time pass while every
+    /// requestor's window is full; open-loop runs never need it.
+    ///
+    /// Deliberately leaves `last_cycle` (the last *demand arrival*) alone,
+    /// so the end-of-run drain in [`MemorySystem::finish`] behaves
+    /// identically whether or not the clock was advanced past the final
+    /// access.
+    pub fn advance(&mut self, now: Cycle) {
+        self.pump_dram(now);
+    }
+
+    /// Starts recording `(block_number, finish)` for every retired DRAM
+    /// read (closed-loop mode only; the log is off by default).
+    pub(crate) fn enable_completion_log(&mut self) {
+        self.completion_log = Some(Vec::new());
+    }
+
+    /// Moves all logged completions into `out`, leaving the log empty.
+    pub(crate) fn drain_completion_log(&mut self, out: &mut Vec<(u64, Cycle)>) {
+        if let Some(log) = &mut self.completion_log {
+            out.append(log);
+        }
+    }
+
+    /// The configured SC lookup/hit latency (closed-loop completion time
+    /// of a demand hit).
+    pub(crate) fn sc_hit_latency(&self) -> u64 {
+        self.cfg.sc_hit_latency
     }
 
     fn pump_dram(&mut self, now: Cycle) {
@@ -332,26 +370,42 @@ impl MemorySystem {
 
     /// Feeds one demand access through the system.
     pub fn process(&mut self, access: &MemAccess) {
+        let _ = self.process_tracked(access);
+    }
+
+    /// [`MemorySystem::process`], additionally reporting whether the access
+    /// hit in the SC (`true`) or must wait on a DRAM fill (`false`). The
+    /// closed-loop traffic model needs the distinction to decide when the
+    /// requestor's window slot frees.
+    pub(crate) fn process_tracked(&mut self, access: &MemAccess) -> bool {
         let now = access.cycle;
+        let device = access.device;
+        let dev_idx = device.index() as u8;
         self.first_cycle.get_or_insert(now);
         self.last_cycle = self.last_cycle.max(now);
         self.pump_dram(now);
         self.demand_count += 1;
-        self.device_counts[device_slot(access.device)].0 += 1;
 
         let block_addr = access.addr.block_base();
-        let result = self.sc.access(access.addr, access.kind);
+        let result = self.sc.access_by(access.addr, access.kind, device);
         // The first demand touch of a prefetched line re-triggers the
         // prefetcher exactly like a miss would (the standard
         // "prefetched hit" trigger) — without it, a chain of next-line
         // prefetches would stall after every successful step.
         let covered_hit = matches!(result, AccessResult::Hit { first_use_of_prefetch: None });
+        let was_hit = result.is_hit();
         match result {
             AccessResult::Hit { first_use_of_prefetch } => {
                 self.latency_sum += self.cfg.sc_hit_latency as f64;
-                self.device_counts[device_slot(access.device)].1 += 1;
+                self.device_lat[device.index()] += self.cfg.sc_hit_latency as f64;
                 if let Some(o) = first_use_of_prefetch {
-                    self.tel.lifecycle(EventKind::PrefetchUsed, o, block_addr.as_u64(), now);
+                    self.tel.lifecycle_for(
+                        EventKind::PrefetchUsed,
+                        o,
+                        device,
+                        block_addr.as_u64(),
+                        now,
+                    );
                 }
             }
             AccessResult::Miss => {
@@ -360,9 +414,15 @@ impl MemorySystem {
                     // becomes a (late) demand fill.
                     if let Some(o) = entry.origin.take() {
                         self.late_prefetches += 1;
-                        self.tel.lifecycle(EventKind::PrefetchLate, o, block_addr.as_u64(), now);
+                        self.tel.lifecycle_for(
+                            EventKind::PrefetchLate,
+                            o,
+                            device,
+                            block_addr.as_u64(),
+                            now,
+                        );
                     }
-                    entry.waiters.push(now);
+                    entry.waiters.push(now, dev_idx);
                     entry.wrote |= access.kind.is_write();
                 } else {
                     // A queued-but-unissued prefetch is superseded.
@@ -375,8 +435,9 @@ impl MemorySystem {
                         block_addr.block_number(),
                         Inflight {
                             origin: None,
-                            waiters: WaiterList::one(access.cycle),
+                            waiters: WaiterList::one(access.cycle, dev_idx),
                             wrote: access.kind.is_write(),
+                            device: dev_idx,
                         },
                     );
                 }
@@ -389,6 +450,11 @@ impl MemorySystem {
         self.scratch.clear();
         let mut scratch = std::mem::take(&mut self.scratch);
         self.prefetcher.on_access(access, covered_hit, &mut scratch);
+        // Prefetches are attributed to the device whose demand triggered
+        // them, regardless of which sub-prefetcher produced the request.
+        for req in scratch.iter_mut() {
+            req.device = device;
+        }
         if gated {
             // Keep one probe in GOVERNOR_PROBE_PERIOD; drop the rest.
             let g = &mut self.governor_state;
@@ -408,7 +474,13 @@ impl MemorySystem {
                 || self.queue.contains_block(req.addr)
             {
                 self.prefetches_filtered += 1;
-                self.tel.lifecycle(EventKind::PrefetchFiltered, req.origin, req.addr.as_u64(), now);
+                self.tel.lifecycle_for(
+                    EventKind::PrefetchFiltered,
+                    req.origin,
+                    req.device,
+                    req.addr.as_u64(),
+                    now,
+                );
                 continue;
             }
             self.queue.push(req);
@@ -420,11 +492,23 @@ impl MemorySystem {
             self.dram.try_enqueue(req.addr, false, Priority::Prefetch, now).expect("room checked");
             self.inflight.insert(
                 req.addr.block_number(),
-                Inflight { origin: Some(req.origin), waiters: WaiterList::default(), wrote: false },
+                Inflight {
+                    origin: Some(req.origin),
+                    waiters: WaiterList::default(),
+                    wrote: false,
+                    device: req.device.index() as u8,
+                },
             );
             self.prefetches_issued += 1;
-            self.tel.lifecycle(EventKind::PrefetchIssued, req.origin, req.addr.as_u64(), now);
+            self.tel.lifecycle_for(
+                EventKind::PrefetchIssued,
+                req.origin,
+                req.device,
+                req.addr.as_u64(),
+                now,
+            );
         }
+        was_hit
     }
 
     /// Pops the next prefetch that should actually go to DRAM. Entries that
@@ -572,7 +656,7 @@ impl MemorySystem {
         self.prefetches_issued = 0;
         self.prefetches_filtered = 0;
         self.writebacks_dropped = 0;
-        self.device_counts = [(0, 0); 5];
+        self.device_lat = [0.0; DeviceId::COUNT];
         self.governor_state = GovernorState::default();
         self.first_cycle = None;
         // Telemetry restarts with the other metrics: the system handle
@@ -586,10 +670,22 @@ impl MemorySystem {
         self.finish_parts(workload).0
     }
 
-    fn finish_parts(
-        mut self,
+    pub(crate) fn finish_parts(
+        self,
         workload: &str,
     ) -> (SimResult, planaria_dram::DramStats, TelemetryReport) {
+        let (result, dram, telemetry, _) = self.finish_parts_logged(workload);
+        (result, dram, telemetry)
+    }
+
+    /// [`MemorySystem::finish_parts`] plus the completions logged since the
+    /// last [`MemorySystem::drain_completion_log`] — including those
+    /// retired by the final drain, which the closed-loop traffic model
+    /// needs to settle its remaining outstanding requests.
+    pub(crate) fn finish_parts_logged(
+        mut self,
+        workload: &str,
+    ) -> (SimResult, planaria_dram::DramStats, TelemetryReport, Vec<(u64, Cycle)>) {
         // Issue whatever prefetches still fit, then let DRAM finish.
         while let Some(req) = self.next_issuable() {
             self.dram
@@ -597,12 +693,18 @@ impl MemorySystem {
                 .expect("room checked");
             self.inflight.insert(
                 req.addr.block_number(),
-                Inflight { origin: Some(req.origin), waiters: WaiterList::default(), wrote: false },
+                Inflight {
+                    origin: Some(req.origin),
+                    waiters: WaiterList::default(),
+                    wrote: false,
+                    device: req.device.index() as u8,
+                },
             );
             self.prefetches_issued += 1;
-            self.tel.lifecycle(
+            self.tel.lifecycle_for(
                 EventKind::PrefetchIssued,
                 req.origin,
+                req.device,
                 req.addr.as_u64(),
                 self.last_cycle,
             );
@@ -613,6 +715,7 @@ impl MemorySystem {
             self.handle_completion(c);
         }
         self.completions = buf;
+        let tail_log = self.completion_log.take().unwrap_or_default();
 
         // Merge prefetcher decision telemetry with the system's lifecycle
         // telemetry: counters add; event streams interleave by cycle (the
@@ -678,18 +781,22 @@ impl MemorySystem {
             power_mw: total_energy / duration as f64 * self.cfg.clock_hz / 1e9,
             dram_row_hit_rate: dram.row_hit_rate(),
             storage_bits: self.prefetcher.storage_bits(),
-            device_stats: DEVICE_LABELS
-                .iter()
-                .zip(self.device_counts)
-                .filter(|(_, (accesses, _))| *accesses > 0)
-                .map(|(label, (accesses, hits))| DeviceStat {
-                    device: (*label).to_string(),
-                    accesses,
-                    hits,
-                })
-                .collect(),
+            device_stats: {
+                let rows = *self.sc.device_stats();
+                DeviceId::ALL
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| rows[*i].demand_accesses() > 0)
+                    .map(|(i, d)| DeviceStat {
+                        device: d.label().to_string(),
+                        accesses: rows[i].demand_accesses(),
+                        hits: rows[i].demand_hits,
+                        amat_cycles: self.device_lat[i] / rows[i].demand_accesses() as f64,
+                    })
+                    .collect()
+            },
         };
-        (result, dram, telemetry)
+        (result, dram, telemetry, tail_log)
     }
 }
 

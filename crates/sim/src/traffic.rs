@@ -1,0 +1,375 @@
+//! Closed-loop multi-requestor traffic model.
+//!
+//! Open-loop trace replay injects every demand at its recorded arrival
+//! cycle, no matter how congested the memory system is — fine for cache
+//! contents and hit rates, but it cannot show *slowdown*: a requestor that
+//! stalls on a slow memory system would, in reality, issue its next request
+//! later. This module closes the loop: the trace is split into per-device
+//! request streams ([`planaria_trace::Trace::split_by_device`]) and each
+//! device gets a bounded window of outstanding requests. A device only
+//! injects its next access once a completion frees a slot, so arrival
+//! times are *derived from* memory-system behaviour instead of replayed
+//! verbatim. The original inter-access gaps within each stream are kept as
+//! think time, so an uncontended device reproduces its recorded schedule
+//! exactly.
+//!
+//! With an effectively infinite window no device ever stalls, every access
+//! is injected at its original cycle in the original order, and the run is
+//! bit-identical to the open-loop simulator — the regression tests pin
+//! this, which is what keeps the default open-loop figures trustworthy.
+//!
+//! # Examples
+//!
+//! ```
+//! use planaria_sim::experiment::PrefetcherKind;
+//! use planaria_sim::{MemorySystem, SystemConfig, TrafficConfig, TrafficModel};
+//! use planaria_trace::apps::{profile, AppId};
+//!
+//! let trace = profile(AppId::HoK).scaled(3_000).build();
+//! let sys = MemorySystem::new(SystemConfig::default(), PrefetcherKind::Planaria.build());
+//! let (result, report) = TrafficModel::new(TrafficConfig::new(4)).run(sys, &trace);
+//!
+//! assert_eq!(result.accesses, trace.len() as u64);
+//! assert!(!report.devices.is_empty());
+//! assert!(report.unfairness >= 1.0);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use planaria_common::{Cycle, MemAccess};
+use planaria_hash::{map_with_capacity, FastHashMap};
+use planaria_telemetry::TelemetryReport;
+use planaria_trace::Trace;
+
+use crate::metrics::SimResult;
+use crate::system::MemorySystem;
+
+/// How far the clock advances per step while every eligible device is
+/// stalled (matches the DRAM back-pressure step in the open-loop path).
+const TIME_STEP: u64 = 500;
+
+/// Closed-loop injection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrafficConfig {
+    /// Maximum outstanding requests per device (its MSHR/queue budget).
+    /// Higher values approach open-loop behaviour; `usize::MAX` reproduces
+    /// it exactly.
+    pub window: usize,
+}
+
+impl TrafficConfig {
+    /// A closed-loop configuration with the given per-device window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero (a device could never inject anything).
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "closed-loop window must be at least 1");
+        Self { window }
+    }
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self { window: 8 }
+    }
+}
+
+/// What the closed loop derived for one device.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeviceOutcome {
+    /// Device label ([`planaria_common::DeviceId::label`]).
+    pub device: String,
+    /// Accesses the device injected.
+    pub accesses: u64,
+    /// Cycle of the device's last access in the *recorded* (open-loop)
+    /// trace.
+    pub open_loop_finish: u64,
+    /// Cycle at which the device's last request *completed* in the closed
+    /// loop — under contention this exceeds `open_loop_finish` because
+    /// injections were delayed by the window.
+    pub derived_finish: u64,
+    /// Recorded span: last arrival plus the SC hit latency, minus first
+    /// arrival (the fastest conceivable completion schedule).
+    pub open_loop_span: u64,
+    /// Derived span: last completion minus first recorded arrival.
+    pub derived_span: u64,
+    /// `derived_span / open_loop_span` — 1.0 means the memory system kept
+    /// up with the recorded schedule perfectly.
+    pub slowdown: f64,
+}
+
+/// Per-device outcomes of one closed-loop run plus the headline fairness
+/// number.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClosedLoopReport {
+    /// The window the run used.
+    pub window: usize,
+    /// One outcome per device present in the trace, in
+    /// [`planaria_common::DeviceId::ALL`] order.
+    pub devices: Vec<DeviceOutcome>,
+    /// Max slowdown divided by min slowdown across devices (1.0 when fewer
+    /// than two devices injected anything). The standard unfairness
+    /// metric: 1.0 is perfectly fair, larger means some requestor is
+    /// disproportionately throttled.
+    pub unfairness: f64,
+}
+
+/// Per-device injection state during a closed-loop run.
+struct DevState {
+    /// Indices into the trace's access slice, ascending.
+    indices: Vec<usize>,
+    /// Next stream position to inject.
+    pos: usize,
+    /// Requests injected but not yet completed.
+    outstanding: usize,
+    /// Earliest cycle the next access may inject (first arrival, then
+    /// previous injection plus the recorded think-time gap).
+    next_ready: Cycle,
+    /// Completion cycle of the latest retired request.
+    last_completion: Cycle,
+    /// First recorded arrival (span baseline).
+    first_arrival: Cycle,
+    /// Last recorded arrival (open-loop finish baseline).
+    last_arrival: Cycle,
+}
+
+/// Drives a [`MemorySystem`] with closed-loop, per-device injection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrafficModel {
+    cfg: TrafficConfig,
+}
+
+impl TrafficModel {
+    /// A model injecting with the given configuration.
+    pub fn new(cfg: TrafficConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs the whole trace closed-loop and finalises the result.
+    pub fn run(self, sys: MemorySystem, trace: &Trace) -> (SimResult, ClosedLoopReport) {
+        let (result, report, _) = self.run_telemetry(sys, trace);
+        (result, report)
+    }
+
+    /// [`TrafficModel::run`], additionally returning the merged
+    /// [`TelemetryReport`] (same contract as
+    /// [`MemorySystem::run_telemetry`]).
+    pub fn run_telemetry(
+        self,
+        mut sys: MemorySystem,
+        trace: &Trace,
+    ) -> (SimResult, ClosedLoopReport, TelemetryReport) {
+        sys.enable_completion_log();
+        let sc_hit_latency = sys.sc_hit_latency();
+        let accesses = trace.accesses();
+
+        let mut devs: Vec<DevState> = trace
+            .split_by_device()
+            .into_iter()
+            .map(|s| {
+                let first = accesses[s.indices[0]].cycle;
+                let last = accesses[*s.indices.last().expect("stream non-empty")].cycle;
+                DevState {
+                    indices: s.indices,
+                    pos: 0,
+                    outstanding: 0,
+                    next_ready: first,
+                    last_completion: Cycle::ZERO,
+                    first_arrival: first,
+                    last_arrival: last,
+                }
+            })
+            .collect();
+
+        let mut clock = devs.iter().map(|d| d.next_ready).min().unwrap_or(Cycle::ZERO);
+        // Demand misses waiting on a DRAM fill: block number -> the local
+        // dev-slot of every waiting injection (one entry per merged miss).
+        let mut waiting: FastHashMap<u64, Vec<usize>> = map_with_capacity(256);
+        // SC hits complete after the fixed lookup latency.
+        let mut hit_heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut log: Vec<(u64, Cycle)> = Vec::new();
+
+        loop {
+            // Retire everything the memory system completed up to `clock`.
+            sys.drain_completion_log(&mut log);
+            for (block, finish) in log.drain(..) {
+                if let Some(ws) = waiting.remove(&block) {
+                    for slot in ws {
+                        devs[slot].outstanding -= 1;
+                        devs[slot].last_completion = devs[slot].last_completion.max(finish);
+                    }
+                }
+            }
+            while let Some(&Reverse((finish, slot))) = hit_heap.peek() {
+                if finish > clock.as_u64() {
+                    break;
+                }
+                hit_heap.pop();
+                devs[slot].outstanding -= 1;
+                devs[slot].last_completion = devs[slot].last_completion.max(Cycle::new(finish));
+            }
+
+            // The next injection: among devices with stream left and a free
+            // window slot, the earliest (ready time, original trace index)
+            // — the tiebreak reproduces the trace's stable sort order, so
+            // an infinite window degenerates to exact open-loop replay.
+            let mut candidate: Option<(Cycle, usize, usize)> = None;
+            let mut any_stalled = false;
+            for (slot, d) in devs.iter().enumerate() {
+                if d.pos >= d.indices.len() {
+                    continue;
+                }
+                if d.outstanding >= self.cfg.window {
+                    any_stalled = true;
+                    continue;
+                }
+                let t = d.next_ready.max(clock);
+                let key = (t, d.indices[d.pos], slot);
+                if candidate.is_none_or(|c| (c.0, c.1) > (key.0, key.1)) {
+                    candidate = Some(key);
+                }
+            }
+
+            let Some((t, idx, slot)) = candidate else {
+                if devs.iter().all(|d| d.pos >= d.indices.len()) {
+                    break; // every stream exhausted; tail drains below
+                }
+                // Every remaining device is window-stalled: let time pass
+                // until completions free a slot.
+                clock += TIME_STEP;
+                sys.advance(clock);
+                continue;
+            };
+
+            if t > clock {
+                if any_stalled {
+                    // A stalled device freed by an earlier completion could
+                    // preempt this candidate, so approach `t` in bounded
+                    // steps, retiring completions along the way.
+                    clock = t.min(clock + TIME_STEP);
+                    sys.advance(clock);
+                    continue;
+                }
+                // Nobody is stalled, so no completion can change the
+                // candidate: jump straight to the injection time. The
+                // system is *not* advanced here — `process` pumps the DRAM
+                // at the access cycle itself, exactly as open loop does.
+                clock = t;
+            }
+
+            let access = MemAccess { cycle: clock, ..accesses[idx] };
+            let hit = sys.process_tracked(&access);
+            let d = &mut devs[slot];
+            d.pos += 1;
+            d.outstanding += 1;
+            if d.pos < d.indices.len() {
+                // Preserve the recorded think time to the next access.
+                let gap = accesses[d.indices[d.pos]].cycle.since(accesses[idx].cycle);
+                d.next_ready = clock + gap;
+            }
+            if hit {
+                hit_heap.push(Reverse((clock.as_u64() + sc_hit_latency, slot)));
+            } else {
+                waiting.entry(access.addr.block_number()).or_default().push(slot);
+            }
+        }
+
+        // Settle what is still in flight: hits complete unconditionally,
+        // misses at whatever completion time the final DRAM drain reports.
+        while let Some(Reverse((finish, slot))) = hit_heap.pop() {
+            devs[slot].outstanding -= 1;
+            devs[slot].last_completion = devs[slot].last_completion.max(Cycle::new(finish));
+        }
+        let (result, _, telemetry, tail) = sys.finish_parts_logged(trace.name());
+        for (block, finish) in tail {
+            if let Some(ws) = waiting.remove(&block) {
+                for slot in ws {
+                    devs[slot].outstanding -= 1;
+                    devs[slot].last_completion = devs[slot].last_completion.max(finish);
+                }
+            }
+        }
+        debug_assert!(devs.iter().all(|d| d.outstanding == 0), "all requests must retire");
+
+        let outcomes: Vec<DeviceOutcome> = devs
+            .iter()
+            .map(|d| {
+                let device = accesses[d.indices[0]].device;
+                let open_loop_span =
+                    (d.last_arrival + sc_hit_latency).since(d.first_arrival).max(1);
+                let derived_span = d.last_completion.since(d.first_arrival).max(1);
+                DeviceOutcome {
+                    device: device.label().to_string(),
+                    accesses: d.indices.len() as u64,
+                    open_loop_finish: d.last_arrival.as_u64(),
+                    derived_finish: d.last_completion.as_u64(),
+                    open_loop_span,
+                    derived_span,
+                    slowdown: derived_span as f64 / open_loop_span as f64,
+                }
+            })
+            .collect();
+        let unfairness = {
+            let max = outcomes.iter().map(|o| o.slowdown).fold(f64::MIN, f64::max);
+            let min = outcomes.iter().map(|o| o.slowdown).fold(f64::MAX, f64::min);
+            if outcomes.len() < 2 || min <= 0.0 {
+                1.0
+            } else {
+                max / min
+            }
+        };
+        let report = ClosedLoopReport { window: self.cfg.window, devices: outcomes, unfairness };
+        (result, report, telemetry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use planaria_core::NullPrefetcher;
+    use planaria_trace::apps::{profile, AppId};
+
+    fn small_trace() -> Trace {
+        profile(AppId::HoK).scaled(2_000).build()
+    }
+
+    #[test]
+    fn infinite_window_matches_open_loop() {
+        let trace = small_trace();
+        let open =
+            MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new())).run(&trace);
+        let (closed, report) = TrafficModel::new(TrafficConfig { window: usize::MAX }).run(
+            MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new())),
+            &trace,
+        );
+        assert_eq!(open, closed, "infinite window must reproduce open loop bit-for-bit");
+        assert_eq!(report.window, usize::MAX);
+    }
+
+    #[test]
+    fn small_window_throttles_injection() {
+        let trace = small_trace();
+        let (r, report) = TrafficModel::new(TrafficConfig::new(1)).run(
+            MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new())),
+            &trace,
+        );
+        assert_eq!(r.accesses, trace.len() as u64, "every access still injects");
+        assert!(
+            report.devices.iter().any(|d| d.derived_finish > d.open_loop_finish),
+            "window=1 must delay at least one device past its recorded schedule"
+        );
+        assert!(report.unfairness >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1")]
+    fn zero_window_rejected() {
+        let _ = TrafficConfig::new(0);
+    }
+}

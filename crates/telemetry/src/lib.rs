@@ -59,4 +59,6 @@ mod sink;
 
 pub use event::{ArbitrationWinner, Event, EventData, EventKind, TransferReject};
 pub use report::TelemetryReport;
-pub use sink::{CountingSink, RingBufferSink, Telemetry, TelemetryConfig, TraceSink};
+pub use sink::{
+    CountingSink, DeviceLifecycle, RingBufferSink, Telemetry, TelemetryConfig, TraceSink,
+};

@@ -2,7 +2,7 @@
 
 use core::fmt::Write as _;
 
-use planaria_common::PrefetchOrigin;
+use planaria_common::{DeviceId, PrefetchOrigin};
 
 use crate::event::{origin_index, origin_label, Event, EventKind};
 use crate::sink::CountingSink;
@@ -66,6 +66,46 @@ impl TelemetryReport {
     /// Prefetches issued across all origins.
     pub fn total_issued(&self) -> u64 {
         self.counters.issued.iter().sum()
+    }
+
+    /// Prefetches issued on behalf of `device` (the device whose demand
+    /// access triggered them).
+    ///
+    /// Summing over [`DeviceId::ALL`] reproduces [`Self::total_issued`]
+    /// exactly — every issue is attributed to exactly one device.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use planaria_common::{Cycle, DeviceId, PrefetchOrigin};
+    /// use planaria_telemetry::{EventKind, Telemetry};
+    ///
+    /// let mut tel = Telemetry::counting_only();
+    /// tel.lifecycle_for(
+    ///     EventKind::PrefetchIssued,
+    ///     PrefetchOrigin::Tlp,
+    ///     DeviceId::Npu,
+    ///     0x8000,
+    ///     Cycle::new(3),
+    /// );
+    /// let report = tel.report();
+    /// assert_eq!(report.issued_by(DeviceId::Npu), 1);
+    /// assert_eq!(report.issued_by(DeviceId::Gpu), 0);
+    /// let split: u64 = DeviceId::ALL.iter().map(|&d| report.issued_by(d)).sum();
+    /// assert_eq!(split, report.total_issued());
+    /// ```
+    pub fn issued_by(&self, device: DeviceId) -> u64 {
+        self.counters.per_device.issued[device.index()]
+    }
+
+    /// First demand uses of prefetched lines consumed by `device`.
+    pub fn used_by(&self, device: DeviceId) -> u64 {
+        self.counters.per_device.used[device.index()]
+    }
+
+    /// Demand misses from `device` that merged into an in-flight prefetch.
+    pub fn late_by(&self, device: DeviceId) -> u64 {
+        self.counters.per_device.late[device.index()]
     }
 
     /// Merges another report's counters into this one (events are left
@@ -139,6 +179,35 @@ impl TelemetryReport {
             }
             out.push('}');
         }
+        out.push_str(",\"by_device\":{");
+        let mut first_dev = true;
+        for device in DeviceId::ALL {
+            let i = device.index();
+            let pd = &self.counters.per_device;
+            let cols = [
+                ("issued", pd.issued[i]),
+                ("filled", pd.filled[i]),
+                ("used", pd.used[i]),
+                ("evicted_unused", pd.evicted_unused[i]),
+                ("late", pd.late[i]),
+            ];
+            if cols.iter().all(|(_, n)| *n == 0) {
+                continue;
+            }
+            if !first_dev {
+                out.push(',');
+            }
+            first_dev = false;
+            let _ = write!(out, "\"{}\":{{", device.label());
+            for (j, (name, n)) in cols.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{name}\":{n}");
+            }
+            out.push('}');
+        }
+        out.push('}');
         out.push_str("}\n");
         out
     }
@@ -158,6 +227,21 @@ impl TelemetryReport {
                 let n = row[origin_index(origin)];
                 if n != 0 {
                     let _ = writeln!(out, "{name}_{},{n}", origin_label(origin));
+                }
+            }
+        }
+        for device in DeviceId::ALL {
+            let i = device.index();
+            let pd = &self.counters.per_device;
+            for (name, n) in [
+                ("issued", pd.issued[i]),
+                ("filled", pd.filled[i]),
+                ("used", pd.used[i]),
+                ("evicted_unused", pd.evicted_unused[i]),
+                ("late", pd.late[i]),
+            ] {
+                if n != 0 {
+                    let _ = writeln!(out, "{name}_{},{n}", device.label());
                 }
             }
         }

@@ -2,10 +2,81 @@
 
 use std::collections::VecDeque;
 
-use planaria_common::{Cycle, PrefetchOrigin};
+use planaria_common::{Cycle, DeviceId, PrefetchOrigin};
 
 use crate::event::{origin_index, Event, EventData, EventKind, ORIGINS};
 use crate::report::TelemetryReport;
+
+/// Per-device prefetch-lifecycle counters, one column per [`DeviceId`]
+/// (indexed by [`DeviceId::index`]).
+///
+/// Each lifecycle step is attributed to a device: *issued*, *filtered* and
+/// *late* to the device whose demand access triggered the decision, *used*
+/// to the device whose demand hit consumed the line, *filled* and
+/// *evicted-unused* to the device that triggered the original prefetch.
+/// Every bump is paired with a per-origin bump in [`CountingSink`], so
+/// summing a row over devices reproduces the per-origin total summed over
+/// origins (the conservation invariant `tests/closed_loop.rs` asserts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceLifecycle {
+    /// Prefetches issued, by trigger device.
+    pub issued: [u64; DeviceId::COUNT],
+    /// Speculative fills that landed, by trigger device.
+    pub filled: [u64; DeviceId::COUNT],
+    /// First demand uses of prefetched lines, by consuming device.
+    pub used: [u64; DeviceId::COUNT],
+    /// Prefetched lines evicted unused, by trigger device.
+    pub evicted_unused: [u64; DeviceId::COUNT],
+    /// Demand misses that merged into an in-flight prefetch, by missing
+    /// device.
+    pub late: [u64; DeviceId::COUNT],
+}
+
+impl DeviceLifecycle {
+    /// All counters at zero.
+    pub const fn new() -> Self {
+        DeviceLifecycle {
+            issued: [0; DeviceId::COUNT],
+            filled: [0; DeviceId::COUNT],
+            used: [0; DeviceId::COUNT],
+            evicted_unused: [0; DeviceId::COUNT],
+            late: [0; DeviceId::COUNT],
+        }
+    }
+
+    fn bump(&mut self, kind: EventKind, device: DeviceId) {
+        let i = device.index();
+        match kind {
+            EventKind::PrefetchIssued => self.issued[i] += 1,
+            EventKind::PrefetchFilled => self.filled[i] += 1,
+            EventKind::PrefetchUsed => self.used[i] += 1,
+            EventKind::PrefetchEvictedUnused => self.evicted_unused[i] += 1,
+            EventKind::PrefetchLate => self.late[i] += 1,
+            _ => {}
+        }
+    }
+
+    fn absorb(&mut self, other: &DeviceLifecycle) {
+        let pairs = [
+            (&mut self.issued, &other.issued),
+            (&mut self.filled, &other.filled),
+            (&mut self.used, &other.used),
+            (&mut self.evicted_unused, &other.evicted_unused),
+            (&mut self.late, &other.late),
+        ];
+        for (a, b) in pairs {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x += y;
+            }
+        }
+    }
+}
+
+impl Default for DeviceLifecycle {
+    fn default() -> Self {
+        DeviceLifecycle::new()
+    }
+}
 
 /// Consumer of telemetry, fed per decision point.
 ///
@@ -37,6 +108,9 @@ pub struct CountingSink {
     pub evicted_unused: [u64; ORIGINS],
     /// Demand misses that merged into an in-flight prefetch, per origin.
     pub late: [u64; ORIGINS],
+    /// The same five lifecycle counters broken down per device instead of
+    /// per origin (fed by [`Telemetry::lifecycle_for`]).
+    pub per_device: DeviceLifecycle,
 }
 
 impl CountingSink {
@@ -49,6 +123,7 @@ impl CountingSink {
             used: [0; ORIGINS],
             evicted_unused: [0; ORIGINS],
             late: [0; ORIGINS],
+            per_device: DeviceLifecycle::new(),
         }
     }
 
@@ -89,6 +164,7 @@ impl CountingSink {
         for (a, b) in self.late.iter_mut().zip(other.late.iter()) {
             *a += b;
         }
+        self.per_device.absorb(&other.per_device);
     }
 }
 
@@ -262,12 +338,48 @@ impl Telemetry {
         }
     }
 
-    /// Records a prefetch-lifecycle step: bumps the per-origin counter and,
-    /// when event capture is on, a [`EventData::Lifecycle`] event.
+    /// Records a prefetch-lifecycle step attributed to the default device:
+    /// bumps the per-origin counter and, when event capture is on, a
+    /// [`EventData::Lifecycle`] event. Prefer [`Telemetry::lifecycle_for`]
+    /// when the responsible device is known.
     #[inline]
     pub fn lifecycle(&mut self, kind: EventKind, origin: PrefetchOrigin, addr: u64, cycle: Cycle) {
+        self.lifecycle_for(kind, origin, DeviceId::default(), addr, cycle);
+    }
+
+    /// Records a prefetch-lifecycle step attributed to `device`: bumps the
+    /// per-origin *and* per-device counters and, when event capture is on,
+    /// a [`EventData::Lifecycle`] event.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use planaria_common::{Cycle, DeviceId, PrefetchOrigin};
+    /// use planaria_telemetry::{EventKind, Telemetry};
+    ///
+    /// let mut tel = Telemetry::counting_only();
+    /// tel.lifecycle_for(
+    ///     EventKind::PrefetchIssued,
+    ///     PrefetchOrigin::Slp,
+    ///     DeviceId::Gpu,
+    ///     0x4000,
+    ///     Cycle::new(7),
+    /// );
+    /// assert_eq!(tel.counting.per_device.issued[DeviceId::Gpu.index()], 1);
+    /// assert_eq!(tel.counting.issued.iter().sum::<u64>(), 1);
+    /// ```
+    #[inline]
+    pub fn lifecycle_for(
+        &mut self,
+        kind: EventKind,
+        origin: PrefetchOrigin,
+        device: DeviceId,
+        addr: u64,
+        cycle: Cycle,
+    ) {
         self.counting.count(kind);
         self.counting.bump_lifecycle(kind, origin);
+        self.counting.per_device.bump(kind, device);
         if let Some(ring) = &mut self.events {
             let channel = planaria_common::PhysAddr::new(addr).channel().as_usize() as u8;
             ring.record(&Event {

@@ -39,6 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod apps;
 pub mod filter;
@@ -47,4 +48,4 @@ pub mod synth;
 mod trace;
 
 pub use synth::{ComponentSpec, WeightedComponent, WorkloadSpec};
-pub use trace::{Trace, TraceSummary};
+pub use trace::{DeviceStream, Trace, TraceSummary};

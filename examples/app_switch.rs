@@ -62,6 +62,12 @@ fn main() {
         pct0(r.prefetch_accuracy),
     );
     for d in &r.device_stats {
-        println!("  {:<4} {:>9} accesses, hit rate {}", d.device, d.accesses, pct0(d.hit_rate()));
+        println!(
+            "  {:<4} {:>9} accesses, hit rate {}, AMAT {:>6.1}",
+            d.device,
+            d.accesses,
+            pct0(d.hit_rate()),
+            d.amat_cycles
+        );
     }
 }

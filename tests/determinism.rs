@@ -37,6 +37,20 @@ fn results_are_hasher_independent() {
 }
 
 #[test]
+fn closed_loop_simulation_is_deterministic() {
+    use planaria_sim::{MemorySystem, SystemConfig, TrafficConfig, TrafficModel};
+    let run = || {
+        let trace = profile(AppId::Fort).scaled(20_000).build();
+        let sys = MemorySystem::new(SystemConfig::default(), PrefetcherKind::Planaria.build());
+        TrafficModel::new(TrafficConfig::new(2)).run(sys, &trace)
+    };
+    let (r1, c1) = run();
+    let (r2, c2) = run();
+    assert_eq!(r1, r2, "closed-loop result diverged");
+    assert_eq!(c1, c2, "closed-loop slowdown report diverged");
+}
+
+#[test]
 fn scaling_controls_length_and_extends_coverage() {
     // (Exact prefix preservation does not hold: the per-component shares
     // change with the target length, so the merge boundary shifts.)

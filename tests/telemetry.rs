@@ -84,6 +84,37 @@ fn used_counters_reproduce_fig9_split_exactly() {
 }
 
 #[test]
+fn per_device_lifecycle_rows_conserve_origin_totals() {
+    use planaria_common::DeviceId;
+    let trace = profile(AppId::HoK).scaled(LEN).build();
+    let sys = MemorySystem::new(events_cfg(), PrefetcherKind::Planaria.build());
+    let (_, report) = sys.run_telemetry(&trace, 0.0);
+
+    // Every lifecycle bump lands in exactly one device row and one origin
+    // row, so the two splits always sum to the same totals.
+    let pd = &report.counters.per_device;
+    for (name, rows, origin_total) in [
+        ("issued", &pd.issued, report.total_issued()),
+        ("used", &pd.used, report.count(EventKind::PrefetchUsed)),
+        ("filled", &pd.filled, report.count(EventKind::PrefetchFilled)),
+        ("evicted_unused", &pd.evicted_unused, report.count(EventKind::PrefetchEvictedUnused)),
+        ("late", &pd.late, report.count(EventKind::PrefetchLate)),
+    ] {
+        assert_eq!(rows.iter().sum::<u64>(), origin_total, "{name} split must conserve");
+    }
+    // HoK traces span several devices; attribution must not collapse onto
+    // one row.
+    let active = DeviceId::ALL.iter().filter(|d| report.issued_by(**d) > 0).count();
+    assert!(active > 1, "issued prefetches attributed to {active} device(s)");
+    // The JSONL summary carries the by_device block, rows in canonical
+    // device order with the full five-counter column set.
+    let jsonl = report.to_jsonl("hok");
+    let summary = jsonl.lines().last().unwrap();
+    let start = summary.find("\"by_device\":{\"").expect("summary has a by_device block");
+    assert!(summary[start..].contains("{\"issued\":"), "{summary}");
+}
+
+#[test]
 fn counters_stay_on_when_events_are_off() {
     let trace = profile(AppId::Qsm).scaled(LEN).build();
     let sys = MemorySystem::new(SystemConfig::default(), PrefetcherKind::Planaria.build());

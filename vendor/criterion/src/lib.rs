@@ -7,6 +7,7 @@
 //! benchmark runs `sample_size` timed batches and reports the fastest
 //! batch (the usual low-noise point estimate) plus derived throughput.
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::fmt;

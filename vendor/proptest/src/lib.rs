@@ -17,6 +17,7 @@
 //! * `prop_assert!` panics instead of returning `Err`, which is
 //!   behaviourally equivalent inside `#[test]` functions.
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod test_runner {

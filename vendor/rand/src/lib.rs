@@ -12,6 +12,7 @@
 //! streams for distinct seeds. EXPERIMENTS.md bands are calibrated against
 //! *this* generator.
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 /// Low-level source of random 64-bit words.

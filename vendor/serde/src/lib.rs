@@ -8,6 +8,7 @@
 //! macros. Swap back to the real serde when a consumer actually needs
 //! (de)serialisation.
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 /// Marker standing in for `serde::Serialize`.

@@ -5,13 +5,17 @@
 //! one (the `serde` feature only decorates value types for downstream
 //! consumers that would bring the real serde).
 
+#![warn(missing_docs)]
+
 use proc_macro::TokenStream;
 
+/// Expands `#[derive(Serialize)]` to nothing (no impl is generated).
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
+/// Expands `#[derive(Deserialize)]` to nothing (no impl is generated).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
