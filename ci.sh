@@ -35,6 +35,25 @@ if [[ "${1:-}" != "fast" ]]; then
     cargo run --release -q -p planaria-bench --bin contention -- --check target/contention_ci.json
 fi
 
+step "planaria-lint --check (determinism / hot-path / API-hygiene invariants)"
+cargo run -q -p planaria-lint -- --check --out target/lint_report.json
+# The emitted report must itself conform to the planaria-lint-v1 schema.
+cargo run -q -p planaria-lint -- --validate target/lint_report.json
+
+step "planaria-lint negative test (a seeded violation must fail --check)"
+neg_root=target/lint_negative
+rm -rf "$neg_root"
+mkdir -p "$neg_root/crates/demo/src"
+printf '[workspace]\nmembers = ["crates/demo"]\n' > "$neg_root/Cargo.toml"
+printf '[package]\nname = "demo"\nversion = "0.1.0"\nedition = "2021"\n' \
+    > "$neg_root/crates/demo/Cargo.toml"
+printf '//! Demo.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n/// Stub.\npub fn f() { todo!() }\n' \
+    > "$neg_root/crates/demo/src/lib.rs"
+if cargo run -q -p planaria-lint -- --root "$neg_root" --check > /dev/null 2>&1; then
+    echo "planaria-lint negative test failed: seeded violation passed --check"
+    exit 1
+fi
+
 step "markdown link check (local targets must exist)"
 link_fail=0
 for doc in README.md DESIGN.md EXPERIMENTS.md ARCHITECTURE.md; do

@@ -13,7 +13,7 @@
 //! cargo run --release -p planaria-bench --bin contention -- --check FILE
 //! ```
 
-use planaria_bench::json;
+use planaria_common::json;
 use planaria_sim::experiment::PrefetcherKind;
 use planaria_sim::{Cell, Job, Runner, TrafficConfig};
 use planaria_trace::apps::AppId;
@@ -159,49 +159,66 @@ fn check(path: &str) {
 
 /// Renders the sweep document (fixed key order, so diffs are clean).
 fn render(len: usize, windows: &[usize], rows: &[(&AppId, &[Cell])]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"schema\": \"planaria-contention-v1\",\n");
-    s.push_str(&format!("  \"len_per_app\": {len},\n"));
-    s.push_str(&format!(
-        "  \"windows\": [{}],\n",
-        windows.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(", ")
-    ));
-    s.push_str("  \"apps\": [\n");
-    for (ai, (app, cells)) in rows.iter().enumerate() {
-        let open = &cells[0];
-        s.push_str("    {\n");
-        s.push_str(&format!("      \"app\": \"{}\",\n", app.abbr()));
-        s.push_str("      \"open_loop\": {\n");
-        s.push_str(&format!("        \"amat_cycles\": {:.3},\n", open.result.amat_cycles));
-        s.push_str(&format!("        \"hit_rate\": {:.6}\n", open.result.hit_rate));
-        s.push_str("      },\n");
-        s.push_str("      \"closed_loop\": [\n");
-        for (wi, cell) in cells[1..].iter().enumerate() {
-            let cl = cell.closed_loop.as_ref().expect("closed-loop cell");
-            s.push_str("        {\n");
-            s.push_str(&format!("          \"window\": {},\n", cl.window));
-            s.push_str(&format!("          \"amat_cycles\": {:.3},\n", cell.result.amat_cycles));
-            s.push_str(&format!("          \"unfairness\": {:.6},\n", cl.unfairness));
-            s.push_str("          \"devices\": [\n");
-            for (di, d) in cl.devices.iter().enumerate() {
-                let comma = if di + 1 == cl.devices.len() { "" } else { "," };
-                s.push_str(&format!(
-                    "            {{\"device\": \"{}\", \"accesses\": {}, \
-                     \"open_loop_finish\": {}, \"derived_finish\": {}, \
-                     \"slowdown\": {:.6}}}{comma}\n",
-                    d.device, d.accesses, d.open_loop_finish, d.derived_finish, d.slowdown
-                ));
-            }
-            s.push_str("          ]\n");
-            let comma = if wi + 2 == cells.len() { "" } else { "," };
-            s.push_str(&format!("        }}{comma}\n"));
-        }
-        s.push_str("      ]\n");
-        let comma = if ai + 1 == rows.len() { "" } else { "," };
-        s.push_str(&format!("    }}{comma}\n"));
+    let mut w = json::Writer::pretty();
+    w.begin_object();
+    w.key("schema");
+    w.string("planaria-contention-v1");
+    w.key("len_per_app");
+    w.u64(len as u64);
+    w.key("windows");
+    w.begin_array();
+    for &win in windows {
+        w.u64(win as u64);
     }
-    s.push_str("  ]\n");
-    s.push_str("}\n");
-    s
+    w.end_array();
+    w.key("apps");
+    w.begin_array();
+    for (app, cells) in rows {
+        let open = &cells[0];
+        w.begin_object();
+        w.key("app");
+        w.string(app.abbr());
+        w.key("open_loop");
+        w.begin_object();
+        w.key("amat_cycles");
+        w.f64(open.result.amat_cycles, 3);
+        w.key("hit_rate");
+        w.f64(open.result.hit_rate, 6);
+        w.end_object();
+        w.key("closed_loop");
+        w.begin_array();
+        for cell in &cells[1..] {
+            let cl = cell.closed_loop.as_ref().expect("closed-loop cell");
+            w.begin_object();
+            w.key("window");
+            w.u64(cl.window as u64);
+            w.key("amat_cycles");
+            w.f64(cell.result.amat_cycles, 3);
+            w.key("unfairness");
+            w.f64(cl.unfairness, 6);
+            w.key("devices");
+            w.begin_array();
+            for d in &cl.devices {
+                w.begin_inline_object();
+                w.key("device");
+                w.string(&d.device.to_string());
+                w.key("accesses");
+                w.u64(d.accesses);
+                w.key("open_loop_finish");
+                w.u64(d.open_loop_finish);
+                w.key("derived_finish");
+                w.u64(d.derived_finish);
+                w.key("slowdown");
+                w.f64(d.slowdown, 6);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
 }

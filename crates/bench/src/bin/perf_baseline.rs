@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use planaria_bench::json;
+use planaria_common::json;
 use planaria_sim::experiment::PrefetcherKind;
 use planaria_sim::{MemorySystem, SystemConfig};
 use planaria_trace::apps::{profile, AppId};
@@ -156,46 +156,62 @@ fn check(path: &str) {
 
 /// Renders the measurement document (fixed key order, so diffs are clean).
 fn render(len: usize, rows: &[(&str, u64, f64)], total_accesses: u64, total_secs: f64) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"schema\": \"planaria-perf-v1\",\n");
-    s.push_str("  \"grid\": \"fig8\",\n");
-    s.push_str("  \"threads\": 1,\n");
-    s.push_str(&format!("  \"len_per_app\": {len},\n"));
-    s.push_str(&format!("  \"apps\": {},\n", AppId::ALL.len()));
+    let mut w = json::Writer::pretty();
+    w.begin_object();
+    w.key("schema");
+    w.string("planaria-perf-v1");
+    w.key("grid");
+    w.string("fig8");
+    w.key("threads");
+    w.u64(1);
+    w.key("len_per_app");
+    w.u64(len as u64);
+    w.key("apps");
+    w.u64(AppId::ALL.len() as u64);
 
-    let baseline_known = BASELINE_APS.iter().all(|(_, v)| *v > 0.0);
-    s.push_str("  \"baseline\": ");
-    if baseline_known {
-        s.push_str("{\n");
-        s.push_str(&format!("    \"commit\": \"{BASELINE_COMMIT}\",\n"));
-        s.push_str(&format!("    \"len_per_app\": {BASELINE_LEN},\n"));
-        s.push_str("    \"accesses_per_sec\": {\n");
-        for (i, (kind, aps)) in BASELINE_APS.iter().enumerate() {
-            let comma = if i + 1 == BASELINE_APS.len() { "" } else { "," };
-            s.push_str(&format!("      \"{kind}\": {aps:.0}{comma}\n"));
+    w.key("baseline");
+    if BASELINE_APS.iter().all(|(_, v)| *v > 0.0) {
+        w.begin_object();
+        w.key("commit");
+        w.string(BASELINE_COMMIT);
+        w.key("len_per_app");
+        w.u64(BASELINE_LEN as u64);
+        w.key("accesses_per_sec");
+        w.begin_object();
+        for (kind, aps) in BASELINE_APS {
+            w.key(kind);
+            w.f64(aps, 0);
         }
-        s.push_str("    }\n  },\n");
+        w.end_object();
+        w.end_object();
     } else {
-        s.push_str("null,\n");
+        w.null();
     }
 
-    s.push_str("  \"current\": {\n    \"accesses_per_sec\": {\n");
-    for (kind, accesses, secs) in rows {
-        s.push_str(&format!("      \"{kind}\": {:.0},\n", *accesses as f64 / secs));
-    }
     let total_aps = total_accesses as f64 / total_secs;
-    s.push_str(&format!("      \"total\": {total_aps:.0}\n"));
-    s.push_str("    },\n");
-    s.push_str(&format!("    \"total_accesses\": {total_accesses},\n"));
-    s.push_str(&format!("    \"total_seconds\": {total_secs:.3}\n"));
-    s.push_str("  },\n");
+    w.key("current");
+    w.begin_object();
+    w.key("accesses_per_sec");
+    w.begin_object();
+    for (kind, accesses, secs) in rows {
+        w.key(kind);
+        w.f64(*accesses as f64 / secs, 0);
+    }
+    w.key("total");
+    w.f64(total_aps, 0);
+    w.end_object();
+    w.key("total_accesses");
+    w.u64(total_accesses);
+    w.key("total_seconds");
+    w.f64(total_secs, 3);
+    w.end_object();
 
+    w.key("speedup_total");
     let baseline_total = BASELINE_APS.iter().find(|(k, _)| *k == "total").map(|(_, v)| *v);
     match baseline_total.filter(|&b| b > 0.0 && len == BASELINE_LEN) {
-        Some(b) => s.push_str(&format!("  \"speedup_total\": {:.3}\n", total_aps / b)),
-        None => s.push_str("  \"speedup_total\": null\n"),
+        Some(b) => w.f64(total_aps / b, 3),
+        None => w.null(),
     }
-    s.push_str("}\n");
-    s
+    w.end_object();
+    w.finish()
 }

@@ -23,8 +23,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
-
 use planaria_sim::experiment::PrefetcherKind;
 use planaria_sim::runner::{Job, RunReport, Runner};
 use planaria_sim::SimResult;

@@ -13,6 +13,9 @@
 //!   counter**: the system cache sits on the memory side where a PC is
 //!   unavailable, which is the core constraint Planaria is designed around.
 //! * [`prefetch`] — prefetch request records produced by prefetchers.
+//! * [`json`] — the shared JSON escape/writer/parser helpers every emitter
+//!   in the workspace routes through (there is no `serde_json`; see the
+//!   module docs and `planaria-lint` rule R6).
 //!
 //! # Geometry
 //!
@@ -38,6 +41,7 @@
 pub mod access;
 pub mod addr;
 pub mod bitmap;
+pub mod json;
 pub mod prefetch;
 
 pub use access::{AccessKind, DeviceId, MemAccess};

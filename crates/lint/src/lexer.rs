@@ -1,0 +1,395 @@
+//! A lightweight Rust lexer for static-analysis rules.
+//!
+//! Full parsing (`syn`) would need a registry dependency, which the
+//! workspace's no-registry vendoring policy rules out — and the lint rules
+//! only need token-level structure anyway. This lexer handles exactly the
+//! constructs that make naive text search wrong:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals: plain, raw (`r"…"`, `r#"…"#`), byte (`b"…"`,
+//!   `br#"…"#`) — including escapes and embedded newlines;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`);
+//! * raw identifiers (`r#match`).
+//!
+//! Rule code therefore sees `HashMap` **as an identifier token** only when
+//! the source really names the type, never when the word occurs inside a
+//! comment, a doc comment or a string literal.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`use`, `HashMap`, `r#match` → `match`).
+    Ident,
+    /// A string literal of any flavor; `text` holds the raw inner bytes.
+    StrLit,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// A numeric literal, including suffix (`0x1f`, `1_000`, `2.5e-3f64`).
+    NumLit,
+    /// A lifetime (`'a`, `'static`); `text` holds the name without `'`.
+    Lifetime,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token payload (see [`TokenKind`] for what each class stores).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this is an identifier with exactly the text `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// Lexes `source` into tokens, discarding comments and whitespace.
+///
+/// The lexer never fails: malformed trailing input (e.g. an unterminated
+/// string at EOF) simply ends the token stream, which is the right
+/// behavior for linting — the compiler, not the linter, owns syntax
+/// errors.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer { chars: source.chars().collect(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '\'' => self.char_or_lifetime(&mut out),
+                '"' => {
+                    let line = self.line;
+                    self.bump();
+                    let text = self.plain_string();
+                    out.push(Token { kind: TokenKind::StrLit, text, line });
+                }
+                c if c.is_ascii_digit() => self.number(&mut out),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(&mut out),
+                c => {
+                    let line = self.line;
+                    self.bump();
+                    out.push(Token { kind: TokenKind::Punct, text: c.to_string(), line });
+                }
+            }
+        }
+        out
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// `'a'` / `'\n'` are char literals; `'a` / `'static` are lifetimes.
+    fn char_or_lifetime(&mut self, out: &mut Vec<Token>) {
+        let line = self.line;
+        self.bump(); // opening '
+        match self.peek(0) {
+            // Escape → definitely a char literal.
+            Some('\\') => {
+                let text = self.char_literal_body();
+                out.push(Token { kind: TokenKind::CharLit, text, line });
+            }
+            // Identifier-looking start: lifetime unless a quote follows
+            // the single character ('x' is a char, 'xy is a lifetime).
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(1) == Some('\'') {
+                    let text = self.char_literal_body();
+                    out.push(Token { kind: TokenKind::CharLit, text, line });
+                } else {
+                    let mut name = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Token { kind: TokenKind::Lifetime, text: name, line });
+                }
+            }
+            // Punctuation char literal like '{' or '"'.
+            Some(_) => {
+                let text = self.char_literal_body();
+                out.push(Token { kind: TokenKind::CharLit, text, line });
+            }
+            None => {}
+        }
+    }
+
+    /// Consumes a char-literal body up to and including the closing quote.
+    fn char_literal_body(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                c => text.push(c),
+            }
+        }
+        text
+    }
+
+    /// Consumes a plain (escaped) string body; opening quote already eaten.
+    fn plain_string(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        text
+    }
+
+    /// Consumes a raw string `r#…#"…"#…#`; caller ate the `r`/`br` prefix.
+    fn raw_string(&mut self) -> String {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A quote closes only when followed by `hashes` hashes.
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        text.push(c);
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        text
+    }
+
+    fn number(&mut self, out: &mut Vec<Token>) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..10` does not.
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e' | 'E'))
+                && !text.starts_with("0x")
+                && !text.starts_with("0X")
+                && !text.starts_with("0b")
+                && !text.starts_with("0o")
+            {
+                // Exponent sign inside a float like `2.5e-3` or `1e-3`
+                // (but not the `+` of a hex expression like `0x1e+2`).
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        out.push(Token { kind: TokenKind::NumLit, text, line });
+    }
+
+    fn ident_or_prefixed(&mut self, out: &mut Vec<Token>) {
+        let line = self.line;
+        // String-literal prefixes: r" r#" b" br" b' and raw idents r#name.
+        match (self.peek(0), self.peek(1), self.peek(2)) {
+            (Some('r'), Some('"' | '#'), _) => {
+                // `r#ident` (raw identifier) vs `r#"…"#` / `r"…"`.
+                let mut ahead = 1;
+                while self.peek(ahead) == Some('#') {
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some('"') {
+                    self.bump(); // r
+                    let text = self.raw_string();
+                    out.push(Token { kind: TokenKind::StrLit, text, line });
+                    return;
+                }
+                if self.peek(1) == Some('#') {
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.plain_ident(out, line);
+                    return;
+                }
+                self.plain_ident(out, line);
+            }
+            (Some('b'), Some('"'), _) => {
+                self.bump(); // b
+                self.bump(); // "
+                let text = self.plain_string();
+                out.push(Token { kind: TokenKind::StrLit, text, line });
+            }
+            (Some('b'), Some('\''), _) => {
+                self.bump(); // b
+                self.bump(); // '
+                let text = self.char_literal_body();
+                out.push(Token { kind: TokenKind::CharLit, text, line });
+            }
+            (Some('b'), Some('r'), Some('"' | '#')) => {
+                self.bump(); // b
+                self.bump(); // r
+                let text = self.raw_string();
+                out.push(Token { kind: TokenKind::StrLit, text, line });
+            }
+            _ => self.plain_ident(out, line),
+        }
+    }
+
+    fn plain_ident(&mut self, out: &mut Vec<Token>, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        out.push(Token { kind: TokenKind::Ident, text, line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in /* a nested */ block comment */
+            let s = "HashMap::new() in a string";
+            let r = r#"Instant::now() in a raw string"#;
+            let real = Vec::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(ids.contains(&"Vec".to_string()));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).map(|t| &t.text).collect();
+        let chars: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::CharLit).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        assert_eq!(chars, ["x", "\\'"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).expect("ident b");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn raw_identifier_is_lexed_as_ident() {
+        let toks = lex("let r#match = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("match")));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("for i in 0..10 { let f = 2.5e-3; }");
+        let nums: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::NumLit).map(|t| &t.text).collect();
+        assert_eq!(nums, ["0", "10", "2.5e-3"]);
+    }
+}

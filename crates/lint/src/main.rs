@@ -1,0 +1,113 @@
+//! `planaria-lint` command-line interface.
+//!
+//! ```text
+//! planaria-lint [--root DIR] [--baseline FILE] [--out FILE] [--check]
+//! planaria-lint --validate FILE
+//! planaria-lint --list-rules
+//! ```
+//!
+//! Default mode lints the workspace at `--root` (default `.`) against the
+//! baseline (default `<root>/lint-baseline.json`; a missing file counts
+//! as empty), writes the `planaria-lint-v1` JSON report to `--out` (or
+//! stdout) and prints a text summary to stderr. With `--check` the exit
+//! status is nonzero when any unsuppressed violation or stale baseline
+//! entry exists. `--validate FILE` checks a previously written report
+//! for schema conformance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use planaria_lint::report::validate_report;
+use planaria_lint::rules::RULES;
+use planaria_lint::{load_baseline, run_workspace};
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    out: Option<PathBuf>,
+    check: bool,
+    validate: Option<PathBuf>,
+    list_rules: bool,
+}
+
+const USAGE: &str = "usage: planaria-lint [--root DIR] [--baseline FILE] [--out FILE] \
+                     [--check] | --validate FILE | --list-rules";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline: None,
+        out: None,
+        check: false,
+        validate: None,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().map(PathBuf::from).ok_or(format!("{flag} requires a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--root" => opts.root = value("--root")?,
+            "--baseline" => opts.baseline = Some(value("--baseline")?),
+            "--out" => opts.out = Some(value("--out")?),
+            "--check" => opts.check = true,
+            "--validate" => opts.validate = Some(value("--validate")?),
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn real_main() -> Result<bool, String> {
+    let opts = parse_args()?;
+
+    if opts.list_rules {
+        for rule in RULES {
+            println!("{}  {:<22} {}", rule.id, rule.name, rule.summary);
+        }
+        return Ok(true);
+    }
+
+    if let Some(path) = &opts.validate {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        validate_report(&text)?;
+        println!("{}: valid planaria-lint-v1 report", path.display());
+        return Ok(true);
+    }
+
+    let baseline_path =
+        opts.baseline.clone().unwrap_or_else(|| opts.root.join("lint-baseline.json"));
+    let baseline = load_baseline(&baseline_path)?;
+    let outcome = run_workspace(&opts.root, &baseline)?;
+
+    let report = outcome.render(&opts.root.display().to_string());
+    match &opts.out {
+        Some(path) => std::fs::write(path, &report)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        None => print!("{report}"),
+    }
+    eprint!("{}", outcome.render_text());
+
+    Ok(!opts.check || outcome.is_clean())
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("planaria-lint: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

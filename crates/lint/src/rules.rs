@@ -1,0 +1,827 @@
+//! The rule set: what each invariant is, and how it is detected.
+//!
+//! Every rule works on the token stream produced by [`crate::lexer`], so
+//! rule-triggering text inside comments, doc comments and string literals
+//! never false-positives. Rules that only make sense outside test code
+//! (R1, R2, R3, R5) additionally skip `#[cfg(test)]`-gated regions and
+//! test files (`tests/`, `benches/`) — tests may use std maps, wall
+//! clocks and `unwrap()` freely.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Where a scanned file lives in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// `crates/<name>/…` — first-party simulator code.
+    FirstParty,
+    /// `vendor/<name>/…` — vendored offline dependency stand-ins.
+    Vendor,
+    /// Top-level `tests/…` — cross-crate integration tests.
+    TopTests,
+    /// Top-level `examples/…` — user-facing example programs.
+    Examples,
+}
+
+/// Everything the rules need to know about a file besides its tokens.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Owning crate directory name (`core`, `planaria-hash`, …), or the
+    /// top-level directory name for `tests/` / `examples/` files.
+    pub crate_name: String,
+    /// Which part of the workspace the file belongs to.
+    pub origin: Origin,
+    /// True for files under any `tests/` or `benches/` directory.
+    pub is_test_file: bool,
+    /// True for `src/lib.rs` of a workspace member (where R4 looks for
+    /// the crate-level lint attributes).
+    pub is_crate_root: bool,
+}
+
+impl FileMeta {
+    /// Classifies a workspace-relative path (`/`-separated).
+    ///
+    /// Returns `None` for files no rule applies to (e.g. paths outside
+    /// the known top-level directories).
+    pub fn for_path(rel: &str) -> Option<FileMeta> {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let (origin, crate_name) = match parts.first().copied() {
+            Some("crates") => (Origin::FirstParty, (*parts.get(1)?).to_string()),
+            Some("vendor") => (Origin::Vendor, (*parts.get(1)?).to_string()),
+            Some("tests") => (Origin::TopTests, "tests".to_string()),
+            Some("examples") => (Origin::Examples, "examples".to_string()),
+            Some("benches") => (Origin::TopTests, "benches".to_string()),
+            _ => return None,
+        };
+        let is_test_file = match origin {
+            Origin::TopTests => true,
+            Origin::FirstParty | Origin::Vendor => {
+                parts.get(2).is_some_and(|p| *p == "tests" || *p == "benches")
+            }
+            Origin::Examples => false,
+        };
+        let is_crate_root = matches!(origin, Origin::FirstParty | Origin::Vendor)
+            && parts.len() == 4
+            && parts[2] == "src"
+            && parts[3] == "lib.rs";
+        Some(FileMeta { path: rel.to_string(), crate_name, origin, is_test_file, is_crate_root })
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (`R1`…`R8`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The offending source line, trimmed and capped.
+    pub snippet: String,
+    /// Human-readable explanation with the sanctioned fix.
+    pub message: String,
+}
+
+/// Static description of one rule, used by `--list-rules` and the report.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable id (`R1`…`R8`).
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line summary of the invariant.
+    pub summary: &'static str,
+}
+
+/// All rules, in id order.
+pub const RULES: [RuleInfo; 8] = [
+    RuleInfo {
+        id: "R1",
+        name: "hot-path-hasher",
+        summary: "hot-path crates must use planaria_hash maps, not default-hasher HashMap/HashSet",
+    },
+    RuleInfo {
+        id: "R2",
+        name: "no-wall-clock",
+        summary: "no Instant::now/SystemTime/thread_rng/std::env outside the timing allowlist",
+    },
+    RuleInfo {
+        id: "R3",
+        name: "no-unwrap",
+        summary: "no .unwrap() outside test code; use expect(\"invariant\") or propagate",
+    },
+    RuleInfo {
+        id: "R4",
+        name: "crate-root-attrs",
+        summary: "crate roots must carry #![forbid(unsafe_code)] and #![warn(missing_docs)]",
+    },
+    RuleInfo {
+        id: "R5",
+        name: "no-map-order-floats",
+        summary: "no float accumulation driven by hash-map iteration order",
+    },
+    RuleInfo {
+        id: "R6",
+        name: "shared-json",
+        summary: "JSON emitters route through planaria_common::json helpers",
+    },
+    RuleInfo {
+        id: "R7",
+        name: "no-debug-macros",
+        summary: "no todo!/dbg!/unimplemented! anywhere in committed code",
+    },
+    RuleInfo {
+        id: "R8",
+        name: "vendored-deps-only",
+        summary: "imports and manifests may only name workspace or vendored crates",
+    },
+];
+
+/// Scan configuration: which crates are hot, which paths may read wall
+/// clocks, which top-level crate names imports may resolve to.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crate directory names whose maps must come from `planaria-hash`.
+    pub hot_crates: Vec<String>,
+    /// Path prefixes allowed to use wall-clock / environment sources.
+    pub nondet_allow: Vec<String>,
+    /// Top-level identifiers `use` declarations may start with, beyond
+    /// the built-ins (`std`, `core`, `alloc`, `crate`, `self`, `super`,
+    /// `proc_macro`). Populated from the workspace member directories.
+    pub crate_idents: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            hot_crates: ["core", "cache", "dram", "sim", "trace"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            nondet_allow: [
+                // The figure/benchmark harnesses parse argv and time grids.
+                "crates/bench/",
+                // The runner's RunReport measures wall-clock per cell.
+                "crates/sim/src/runner.rs",
+                // Offline trace CLI tool.
+                "crates/trace/src/bin/",
+                // The lint binary itself parses argv.
+                "crates/lint/src/main.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            crate_idents: Vec::new(),
+        }
+    }
+}
+
+/// Lints one Rust source file; returns its violations in line order.
+pub fn lint_source(meta: &FileMeta, source: &str, config: &Config) -> Vec<Violation> {
+    let tokens = lex(source);
+    let in_test = test_regions(&tokens);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+
+    let ctx = Ctx { meta, tokens: &tokens, in_test: &in_test, lines: &lines, config };
+    rule_hot_path_hasher(&ctx, &mut out);
+    rule_no_wall_clock(&ctx, &mut out);
+    rule_no_unwrap(&ctx, &mut out);
+    rule_crate_root_attrs(&ctx, &mut out);
+    rule_no_map_order_floats(&ctx, &mut out);
+    rule_shared_json(&ctx, &mut out);
+    rule_no_debug_macros(&ctx, &mut out);
+    rule_vendored_imports(&ctx, &mut out);
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Lints one `Cargo.toml` (rule R8: no registry/git dependencies).
+pub fn lint_manifest(rel_path: &str, source: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    // `[dependencies.name]` multi-line tables: remember the header until
+    // the section closes, then require a path/workspace key inside.
+    let mut pending_table: Option<(u32, String)> = None;
+    let mut pending_ok = false;
+
+    let flush_pending =
+        |pending: &mut Option<(u32, String)>, ok: bool, out: &mut Vec<Violation>| {
+            if let Some((line, snippet)) = pending.take() {
+                if !ok {
+                    out.push(Violation {
+                        rule: "R8",
+                        file: rel_path.to_string(),
+                        line,
+                        snippet,
+                        message: "dependency table without `path` or `workspace = true` implies \
+                                  a registry dependency; vendor it instead"
+                            .to_string(),
+                    });
+                }
+            }
+        };
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_pending(&mut pending_table, pending_ok, &mut out);
+            pending_ok = false;
+            let section = line.trim_matches(['[', ']']);
+            let is_dep_table = section.ends_with("dependencies");
+            in_dep_section = is_dep_table;
+            if !is_dep_table {
+                if let Some((table, _name)) = section.rsplit_once('.') {
+                    if table.ends_with("dependencies") {
+                        pending_table = Some((line_no, snippet_of(raw)));
+                    }
+                }
+            }
+            continue;
+        }
+        if pending_table.is_some() {
+            if line.starts_with("path") || line == "workspace = true" {
+                pending_ok = true;
+            }
+            if line.starts_with("git") || line.starts_with("version") {
+                // Tracked by the table-level check; a `git` key is its own
+                // violation even when a path is also present.
+                if line.starts_with("git") {
+                    out.push(manifest_violation(rel_path, line_no, raw));
+                }
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        // One dependency per line: `name = "1.0"` or `name = { … }`.
+        let Some((_name, value)) = line.split_once('=') else { continue };
+        let value = value.trim();
+        let registry_like = value.starts_with('"')
+            || value.contains("git =")
+            || value.contains("git=")
+            || (value.starts_with('{')
+                && !value.contains("path")
+                && !value.contains("workspace = true"));
+        if registry_like {
+            out.push(manifest_violation(rel_path, line_no, raw));
+        }
+    }
+    flush_pending(&mut pending_table, pending_ok, &mut out);
+    out
+}
+
+fn manifest_violation(rel_path: &str, line: u32, raw: &str) -> Violation {
+    Violation {
+        rule: "R8",
+        file: rel_path.to_string(),
+        line,
+        snippet: snippet_of(raw),
+        message: "dependency does not resolve to a workspace path; the build environment has \
+                  no registry access — vendor the crate under vendor/ instead"
+            .to_string(),
+    }
+}
+
+struct Ctx<'a> {
+    meta: &'a FileMeta,
+    tokens: &'a [Token],
+    in_test: &'a [bool],
+    lines: &'a [&'a str],
+    config: &'a Config,
+}
+
+impl Ctx<'_> {
+    fn snippet(&self, line: u32) -> String {
+        self.lines.get(line as usize - 1).map(|l| snippet_of(l)).unwrap_or_default()
+    }
+
+    fn emit(&self, out: &mut Vec<Violation>, rule: &'static str, line: u32, message: String) {
+        out.push(Violation {
+            rule,
+            file: self.meta.path.clone(),
+            line,
+            snippet: self.snippet(line),
+            message,
+        });
+    }
+
+    /// Non-test production code: not a test file, token not in a
+    /// `#[cfg(test)]` region.
+    fn is_prod(&self, i: usize) -> bool {
+        !self.meta.is_test_file && !self.in_test[i]
+    }
+
+    fn first_party_prod(&self) -> bool {
+        matches!(self.meta.origin, Origin::FirstParty | Origin::Examples) && !self.meta.is_test_file
+    }
+}
+
+fn snippet_of(line: &str) -> String {
+    let t = line.trim();
+    if t.len() > 120 {
+        let mut end = 117;
+        while !t.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}...", &t[..end])
+    } else {
+        t.to_string()
+    }
+}
+
+/// Marks tokens inside `#[cfg(test)]`-gated items (and `#[test]` fns).
+///
+/// An attribute containing the `cfg` and `test` identifiers gates the
+/// following item; the gated region runs to the item's closing brace (or
+/// terminating semicolon for brace-less items like `use`).
+fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[') {
+            // Scan the attribute body for `cfg … test` or a bare `test`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            let mut bare_test = None;
+            while j < tokens.len() && depth > 0 {
+                let t = &tokens[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_ident("cfg") {
+                    saw_cfg = true;
+                } else if t.is_ident("not") {
+                    // `#[cfg(not(test))]` gates *production* code.
+                    saw_cfg = false;
+                } else if t.is_ident("test") {
+                    saw_test = true;
+                    if j == i + 2 {
+                        bare_test = Some(());
+                    }
+                }
+                j += 1;
+            }
+            let gates_test = (saw_cfg && saw_test) || bare_test.is_some();
+            if gates_test {
+                // `j` is just past the closing ']'. Skip further
+                // attributes, then mark the item through its `{…}` or `;`.
+                let mut k = j;
+                while k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[')
+                {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < tokens.len() && d > 0 {
+                        if tokens[k].is_punct('[') {
+                            d += 1;
+                        } else if tokens[k].is_punct(']') {
+                            d -= 1;
+                        }
+                        k += 1;
+                    }
+                }
+                let start = i;
+                while k < tokens.len() {
+                    if tokens[k].is_punct(';') {
+                        k += 1;
+                        break;
+                    }
+                    if tokens[k].is_punct('{') {
+                        let mut d = 1usize;
+                        k += 1;
+                        while k < tokens.len() && d > 0 {
+                            if tokens[k].is_punct('{') {
+                                d += 1;
+                            } else if tokens[k].is_punct('}') {
+                                d -= 1;
+                            }
+                            k += 1;
+                        }
+                        break;
+                    }
+                    k += 1;
+                }
+                for slot in in_test.iter_mut().take(k).skip(start) {
+                    *slot = true;
+                }
+                i = k;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// R1 — default-hasher `HashMap`/`HashSet` in hot-path crates.
+fn rule_hot_path_hasher(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if ctx.meta.origin != Origin::FirstParty
+        || !ctx.config.hot_crates.contains(&ctx.meta.crate_name)
+        || ctx.meta.is_test_file
+    {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if !ctx.is_prod(i) {
+            continue;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            ctx.emit(
+                out,
+                "R1",
+                t.line,
+                format!(
+                    "std::collections::{} uses the seeded SipHash default; hot-path crates must \
+                     use planaria_hash::Fast{} (deterministic FxHash)",
+                    t.text, t.text
+                ),
+            );
+        }
+    }
+}
+
+/// R2 — wall-clock / nondeterminism sources outside the allowlist.
+fn rule_no_wall_clock(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if !ctx.first_party_prod() {
+        return;
+    }
+    if ctx.config.nondet_allow.iter().any(|p| ctx.meta.path.starts_with(p.as_str())) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !ctx.is_prod(i) {
+            continue;
+        }
+        let bad =
+            if t.is_ident("SystemTime") || t.is_ident("thread_rng") || t.is_ident("from_entropy") {
+                Some(t.text.clone())
+            } else if t.is_ident("Instant")
+                && matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+                && matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
+                && matches!(toks.get(i + 3), Some(n) if n.is_ident("now"))
+            {
+                Some("Instant::now".to_string())
+            } else if t.is_ident("std")
+                && matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+                && matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
+                && matches!(toks.get(i + 3), Some(n) if n.is_ident("env"))
+            {
+                Some("std::env".to_string())
+            } else {
+                None
+            };
+        if let Some(what) = bad {
+            ctx.emit(
+                out,
+                "R2",
+                t.line,
+                format!(
+                    "{what} is a nondeterminism source; simulated code must be a pure function \
+                     of its inputs (timing belongs in the runner/bench allowlist)"
+                ),
+            );
+        }
+    }
+}
+
+/// R3 — `.unwrap()` outside test code.
+fn rule_no_unwrap(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if !ctx.first_party_prod() {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if !ctx.is_prod(i) {
+            continue;
+        }
+        if toks[i].is_ident("unwrap")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct('('))
+        {
+            ctx.emit(
+                out,
+                "R3",
+                toks[i].line,
+                ".unwrap() hides the violated invariant; use expect(\"why this cannot fail\") \
+                 or propagate the error"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// R4 — crate roots must carry the two crate-level lint attributes.
+fn rule_crate_root_attrs(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if !ctx.meta.is_crate_root {
+        return;
+    }
+    let toks = ctx.tokens;
+    let mut has_forbid_unsafe = false;
+    let mut has_missing_docs = false;
+    for i in 0..toks.len() {
+        // Inner attribute: `#` `!` `[` ident `(` ident `)` `]`.
+        if toks[i].is_punct('#')
+            && matches!(toks.get(i + 1), Some(t) if t.is_punct('!'))
+            && matches!(toks.get(i + 2), Some(t) if t.is_punct('['))
+        {
+            let level = toks.get(i + 3);
+            let arg = toks.get(i + 5);
+            let is_level = |t: &Option<&Token>, names: &[&str]| {
+                t.is_some_and(|t| names.iter().any(|n| t.is_ident(n)))
+            };
+            if is_level(&level, &["forbid", "deny"]) && is_level(&arg, &["unsafe_code"]) {
+                has_forbid_unsafe = true;
+            }
+            if is_level(&level, &["warn", "deny", "forbid"]) && is_level(&arg, &["missing_docs"]) {
+                has_missing_docs = true;
+            }
+        }
+    }
+    if !has_forbid_unsafe {
+        ctx.emit(
+            out,
+            "R4",
+            1,
+            "crate root lacks #![forbid(unsafe_code)] (the whole workspace is safe Rust)"
+                .to_string(),
+        );
+    }
+    if !has_missing_docs {
+        ctx.emit(
+            out,
+            "R4",
+            1,
+            "crate root lacks #![warn(missing_docs)] (rustdoc -D warnings gates CI)".to_string(),
+        );
+    }
+}
+
+/// R5 — float accumulation over hash-map iteration order.
+fn rule_no_map_order_floats(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if !ctx.first_party_prod() {
+        return;
+    }
+    const MAP_ITERS: [&str; 6] =
+        ["values", "values_mut", "into_values", "keys", "into_keys", "drain"];
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if !ctx.is_prod(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if !(t.kind == TokenKind::Ident && MAP_ITERS.contains(&t.text.as_str())) {
+            continue;
+        }
+        if !(matches!(toks.get(i + 1), Some(p) if p.is_punct('('))
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct(')')))
+        {
+            continue;
+        }
+        // Look ahead within the same statement for a float accumulator.
+        let mut j = i + 3;
+        let limit = (i + 60).min(toks.len());
+        while j < limit && !toks[j].is_punct(';') {
+            let u = &toks[j];
+            let float_turbofish = (u.is_ident("sum") || u.is_ident("product"))
+                && matches!(toks.get(j + 1), Some(p) if p.is_punct(':'))
+                && matches!(toks.get(j + 2), Some(p) if p.is_punct(':'))
+                && matches!(toks.get(j + 3), Some(p) if p.is_punct('<'))
+                && matches!(toks.get(j + 4), Some(f) if f.is_ident("f64") || f.is_ident("f32"));
+            let float_fold = u.is_ident("fold")
+                && matches!(toks.get(j + 1), Some(p) if p.is_punct('('))
+                && matches!(
+                    toks.get(j + 2),
+                    Some(n) if n.kind == TokenKind::NumLit
+                        && (n.text.contains('.')
+                            || n.text.contains("f64")
+                            || n.text.contains("f32"))
+                );
+            if float_turbofish || float_fold {
+                ctx.emit(
+                    out,
+                    "R5",
+                    t.line,
+                    format!(
+                        ".{}() iterates in hash order; float addition is not associative, so \
+                         the sum depends on iteration order — accumulate integers, or collect \
+                         and sort first",
+                        t.text
+                    ),
+                );
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// R6 — JSON emitters route through `planaria_common::json`.
+fn rule_shared_json(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if ctx.meta.origin != Origin::FirstParty {
+        return;
+    }
+    let toks = ctx.tokens;
+    let in_common_json = ctx.meta.path == "crates/common/src/json.rs";
+
+    // (a) Local JSON-escape helper definitions.
+    if !in_common_json {
+        for i in 0..toks.len() {
+            if toks[i].is_ident("fn")
+                && matches!(
+                    toks.get(i + 1),
+                    Some(n) if n.is_ident("escape_json") || n.is_ident("json_escape")
+                )
+            {
+                ctx.emit(
+                    out,
+                    "R6",
+                    toks[i].line,
+                    "local JSON escape helper duplicates planaria_common::json::escape; use \
+                     the shared helper"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // (b) Schema emitters (a full `planaria-*-v1` schema-id string
+    // literal) must reference the shared json module somewhere.
+    if in_common_json {
+        return;
+    }
+    let schema_lit = toks.iter().find(|t| {
+        t.kind == TokenKind::StrLit && t.text.starts_with("planaria-") && t.text.ends_with("-v1")
+    });
+    if let Some(lit) = schema_lit {
+        let uses_shared = toks.iter().any(|t| t.is_ident("json"));
+        if !uses_shared {
+            ctx.emit(
+                out,
+                "R6",
+                lit.line,
+                format!(
+                    "file emits the `{}` schema but never references the planaria_common::json \
+                     helpers; hand-rolled writers drift out of sync",
+                    lit.text
+                ),
+            );
+        }
+    }
+}
+
+/// R7 — leftover debug/stub macros.
+fn rule_no_debug_macros(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    const BANNED: [&str; 3] = ["todo", "dbg", "unimplemented"];
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Ident
+            && BANNED.contains(&t.text.as_str())
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct('!'))
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct('('))
+        {
+            ctx.emit(
+                out,
+                "R7",
+                t.line,
+                format!("{}!() must not land on any branch (tests included)", t.text),
+            );
+        }
+    }
+}
+
+/// R8 (source half) — `use` declarations may only name known crates.
+fn rule_vendored_imports(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    const BUILTIN: [&str; 7] = ["std", "core", "alloc", "crate", "self", "super", "proc_macro"];
+    // Edition-2021 uniform paths also resolve `use foo::…` against items of
+    // the *current module*; collect every ident this file declares (module,
+    // type, `as` rename) so sibling-module re-exports are not flagged.
+    const DECL_KEYWORDS: [&str; 9] =
+        ["mod", "struct", "enum", "trait", "type", "fn", "union", "as", "macro_rules"];
+    let toks = ctx.tokens;
+    let mut local: Vec<&str> = Vec::new();
+    for w in toks.windows(2) {
+        if w[0].kind == TokenKind::Ident
+            && w[1].kind == TokenKind::Ident
+            && DECL_KEYWORDS.contains(&w[0].text.as_str())
+        {
+            local.push(w[1].text.as_str());
+        }
+    }
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("use") {
+            continue;
+        }
+        // Item position: start of file or after `;`, `}`, `{`, or an
+        // attribute's closing `]` / visibility `pub`/`)`. Expression uses
+        // of the word (none in practice — `use` is a keyword) are fine.
+        let mut j = i + 1;
+        // Skip leading `::` of `use ::foo` paths.
+        while j < toks.len() && toks[j].is_punct(':') {
+            j += 1;
+        }
+        let Some(first) = toks.get(j) else { continue };
+        if first.kind != TokenKind::Ident {
+            continue;
+        }
+        // Only flag single-segment-rooted paths: `use foo::…` / `use foo;`
+        // (grouped imports `use {a, b}` start with '{' and are not used
+        // in this workspace).
+        let seg = first.text.as_str();
+        if BUILTIN.contains(&seg)
+            || ctx.config.crate_idents.iter().any(|c| c == seg)
+            || local.contains(&seg)
+        {
+            continue;
+        }
+        ctx.emit(
+            out,
+            "R8",
+            toks[i].line,
+            format!(
+                "`use {seg}::…` does not resolve to a workspace or vendored crate; the build \
+                 environment has no registry access"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(path: &str) -> FileMeta {
+        FileMeta::for_path(path).expect("classifiable path")
+    }
+
+    fn cfg() -> Config {
+        Config {
+            crate_idents: ["planaria_common", "planaria_hash", "rand", "serde"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            ..Config::default()
+        }
+    }
+
+    fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+        let mut ids: Vec<&'static str> =
+            lint_source(&meta(path), src, &cfg()).into_iter().map(|v| v.rule).collect();
+        ids.dedup();
+        ids
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "
+            pub fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                #[test]
+                fn t() { let m: HashMap<u64, u64> = HashMap::new(); m.len(); }
+            }
+        ";
+        assert!(rules_fired("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_crate_hashmap_fires_outside_tests() {
+        let src =
+            "use std::collections::HashMap;\npub fn f() -> HashMap<u64, u64> { HashMap::new() }\n";
+        assert_eq!(rules_fired("crates/cache/src/x.rs", src), ["R1"]);
+        // Same file in a non-hot crate: only the import rule is clean too.
+        assert!(rules_fired("crates/telemetry/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn manifest_registry_dep_is_flagged() {
+        let bad = "[dependencies]\nserde = \"1.0\"\nrand = { path = \"../rand\" }\n";
+        let v = lint_manifest("crates/x/Cargo.toml", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        let good = "[dependencies]\nrand = { workspace = true }\n\n[dev-dependencies]\nproptest = { path = \"../../vendor/proptest\" }\n";
+        assert!(lint_manifest("crates/x/Cargo.toml", good).is_empty());
+    }
+
+    #[test]
+    fn manifest_git_dep_is_flagged() {
+        let bad = "[dependencies]\nfoo = { git = \"https://example.com/foo\" }\n";
+        assert_eq!(lint_manifest("crates/x/Cargo.toml", bad).len(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-rule fixture tests: every bad fixture trips exactly its own rule,
+//! the clean fixtures trip nothing, and trigger text hidden in strings
+//! or comments stays invisible.
+
+use planaria_lint::rules::{lint_manifest, lint_source, Config, FileMeta, Violation};
+
+fn config() -> Config {
+    Config {
+        crate_idents: ["planaria_common", "planaria_hash", "planaria_core"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        ..Config::default()
+    }
+}
+
+fn lint(path: &str, source: &str) -> Vec<Violation> {
+    let meta = FileMeta::for_path(path).expect("classifiable fixture path");
+    lint_source(&meta, source, &config())
+}
+
+/// Distinct rule ids fired, in order.
+fn rules_fired(path: &str, source: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint(path, source).into_iter().map(|v| v.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn r1_default_hasher_map_in_hot_crate() {
+    let vs = lint("crates/core/src/fixture.rs", include_str!("fixtures/bad_r1.rs"));
+    assert!(vs.iter().all(|v| v.rule == "R1"), "{vs:?}");
+    assert_eq!(vs.len(), 3, "one per HashMap mention: {vs:?}");
+}
+
+#[test]
+fn r1_is_silent_outside_hot_crates() {
+    let vs = lint("crates/telemetry/src/fixture.rs", include_str!("fixtures/bad_r1.rs"));
+    assert!(vs.is_empty(), "telemetry is not a hot crate: {vs:?}");
+}
+
+#[test]
+fn r2_wall_clock_in_simulated_code() {
+    assert_eq!(
+        rules_fired("crates/core/src/fixture.rs", include_str!("fixtures/bad_r2.rs")),
+        ["R2"]
+    );
+}
+
+#[test]
+fn r2_is_silent_on_the_allowlist() {
+    let vs = lint("crates/bench/src/fixture.rs", include_str!("fixtures/bad_r2.rs"));
+    assert!(vs.is_empty(), "bench may time things: {vs:?}");
+}
+
+#[test]
+fn r3_bare_unwrap_in_library_code() {
+    assert_eq!(
+        rules_fired("crates/core/src/fixture.rs", include_str!("fixtures/bad_r3.rs")),
+        ["R3"]
+    );
+}
+
+#[test]
+fn r4_crate_root_missing_lint_attrs() {
+    let vs = lint("crates/demo/src/lib.rs", include_str!("fixtures/bad_r4.rs"));
+    assert!(vs.iter().all(|v| v.rule == "R4"), "{vs:?}");
+    assert_eq!(vs.len(), 2, "one per missing attribute: {vs:?}");
+}
+
+#[test]
+fn r4_only_applies_to_crate_roots() {
+    let vs = lint("crates/demo/src/other.rs", include_str!("fixtures/bad_r4.rs"));
+    assert!(vs.is_empty(), "non-root modules need no crate attrs: {vs:?}");
+}
+
+#[test]
+fn r5_float_sum_over_map_iteration() {
+    let vs = lint("crates/analysis/src/fixture.rs", include_str!("fixtures/bad_r5.rs"));
+    assert!(vs.iter().all(|v| v.rule == "R5"), "{vs:?}");
+    assert_eq!(vs.len(), 2, "turbofish sum and float fold: {vs:?}");
+}
+
+#[test]
+fn r6_handrolled_json_outside_shared_module() {
+    let vs = lint("crates/telemetry/src/fixture.rs", include_str!("fixtures/bad_r6.rs"));
+    assert!(vs.iter().all(|v| v.rule == "R6"), "{vs:?}");
+    assert_eq!(vs.len(), 2, "escape helper and rogue schema emitter: {vs:?}");
+}
+
+#[test]
+fn r7_stub_macros() {
+    let vs = lint("crates/common/src/fixture.rs", include_str!("fixtures/bad_r7.rs"));
+    assert!(vs.iter().all(|v| v.rule == "R7"), "{vs:?}");
+    assert_eq!(vs.len(), 3, "todo, dbg and unimplemented: {vs:?}");
+}
+
+#[test]
+fn r8_unknown_crate_import() {
+    assert_eq!(
+        rules_fired("crates/core/src/fixture.rs", include_str!("fixtures/bad_r8.rs")),
+        ["R8"]
+    );
+}
+
+#[test]
+fn clean_fixture_passes_every_rule_as_a_hot_crate_root() {
+    let vs = lint("crates/core/src/lib.rs", include_str!("fixtures/clean.rs"));
+    assert!(vs.is_empty(), "sanctioned forms must not fire: {vs:?}");
+}
+
+#[test]
+fn tricky_strings_and_comments_never_fire() {
+    let vs = lint("crates/core/src/fixture.rs", include_str!("fixtures/tricky.rs"));
+    assert!(vs.is_empty(), "triggers in strings/comments are data: {vs:?}");
+}
+
+#[test]
+fn bad_manifest_fires_r8_per_registry_dependency() {
+    let vs = lint_manifest("crates/rogue/Cargo.toml", include_str!("fixtures/bad_manifest.toml"));
+    assert!(vs.iter().all(|v| v.rule == "R8"), "{vs:?}");
+    assert_eq!(vs.len(), 3, "rayon, reqwest table, quickcheck git: {vs:?}");
+}
+
+#[test]
+fn clean_manifest_is_silent() {
+    let vs = lint_manifest("crates/tidy/Cargo.toml", include_str!("fixtures/clean_manifest.toml"));
+    assert!(vs.is_empty(), "workspace/path deps are sanctioned: {vs:?}");
+}

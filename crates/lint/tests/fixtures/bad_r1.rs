@@ -1,0 +1,8 @@
+//! Fixture: default-hasher map in a hot-path crate (fires only R1).
+
+use std::collections::HashMap;
+
+/// Seeded SipHash map — iteration order varies per process.
+pub fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}

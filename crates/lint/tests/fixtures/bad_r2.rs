@@ -1,0 +1,8 @@
+//! Fixture: wall-clock read inside simulated code (fires only R2).
+
+use std::time::Instant;
+
+/// Reads the host clock — results now depend on machine speed.
+pub fn stamp() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,6 @@
+//! Fixture: bare `.unwrap()` in library code (fires only R3).
+
+/// Panics with no explanation of the violated invariant.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

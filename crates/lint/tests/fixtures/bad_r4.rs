@@ -1,0 +1,5 @@
+//! Fixture: a crate root missing both mandatory crate-level lint
+//! attributes (fires only R4, twice).
+
+/// Documented so `missing_docs` itself would stay quiet.
+pub fn noop() {}

@@ -1,0 +1,11 @@
+//! Fixture: hand-rolled JSON plumbing outside the shared module (fires
+//! only R6 — both halves: a local escape helper and a schema emitter
+//! that never references the shared helpers).
+
+/// Duplicates `planaria_common::json::escape`.
+pub fn escape_json(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Schema id emitted without going through the shared writer.
+pub const SCHEMA: &str = "planaria-rogue-v1";

@@ -1,0 +1,16 @@
+//! Fixture: leftover stub/debug macros (fires only R7, three times).
+
+/// Unfinished branch.
+pub fn later() {
+    todo!()
+}
+
+/// Debug print left behind.
+pub fn noisy(x: u32) -> u32 {
+    dbg!(x)
+}
+
+/// Explicitly unimplemented arm.
+pub fn never() {
+    unimplemented!()
+}

@@ -1,0 +1,7 @@
+//! Fixture: import of a crate that is neither a workspace member nor
+//! vendored (fires only R8 — the build environment cannot fetch it).
+
+use rayon::prelude::*;
+
+/// Would parallelize, if the dependency existed.
+pub fn noop() {}

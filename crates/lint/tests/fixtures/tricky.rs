@@ -1,0 +1,29 @@
+//! Fixture: rule triggers hidden where only a text grep would find them
+//! — comments, doc text, strings, raw strings, lifetimes. Lints clean.
+//!
+//! A doc comment mentioning `HashMap::new().unwrap()` or `todo!()` is
+//! documentation, not code.
+
+/* Block comment: Instant::now(); SystemTime::now(); thread_rng();
+   /* nested block comment: use rayon::prelude::*; dbg!(0) */
+   still inside the outer comment: HashSet::default().unwrap() */
+
+/// String contents are data: the lexer must not see these as tokens.
+pub const POEM: &str = "HashMap::new().unwrap(); todo!(); std::env::args()";
+
+/// Raw strings may hold schema-looking JSON without firing the shared-
+/// json rule (the literal is a document, not a `planaria-*-v1` id).
+pub const RAW: &str = r#"{"schema": "planaria-tricky-v1", "x": "unwrap()"}"#;
+
+/// An escaped quote must not terminate the literal early.
+pub const ESCAPED: &str = "she said \"use rayon::prelude::*\" and left";
+
+/// Lifetimes are not char literals: `'a` must not swallow the rest.
+pub fn first<'a>(xs: &'a [u8]) -> Option<&'a u8> {
+    xs.first()
+}
+
+/// A char literal holding a quote, next to a range (not a float).
+pub fn count(xs: &[char]) -> usize {
+    (0..xs.len()).filter(|&i| xs[i] == '"').count()
+}

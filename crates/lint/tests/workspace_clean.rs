@@ -1,0 +1,48 @@
+//! The shipped workspace must lint clean against its committed —
+//! deliberately empty — baseline. This is the acceptance gate `ci.sh`
+//! replays from the command line.
+
+use std::path::Path;
+
+use planaria_lint::report::validate_report;
+use planaria_lint::{load_baseline, run_workspace, workspace_config};
+
+fn repo_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn shipped_workspace_is_lint_clean_with_an_empty_baseline() {
+    let root = repo_root();
+    let baseline = load_baseline(&root.join("lint-baseline.json")).expect("baseline parses");
+    assert!(baseline.entries.is_empty(), "the shipped baseline must stay empty");
+
+    let outcome = run_workspace(&root, &baseline).expect("scan succeeds");
+    assert!(
+        outcome.violations.is_empty(),
+        "workspace must be lint-clean:\n{}",
+        outcome.render_text()
+    );
+    assert!(outcome.stale_entries.is_empty());
+    assert!(outcome.is_clean());
+    assert!(
+        outcome.files_scanned > 100,
+        "walker should cover the whole workspace, saw {}",
+        outcome.files_scanned
+    );
+
+    let report = outcome.render("workspace");
+    validate_report(&report).expect("report validates against planaria-lint-v1");
+}
+
+#[test]
+fn workspace_config_learns_member_crate_idents() {
+    let config = workspace_config(&repo_root()).expect("config builds");
+    for ident in ["planaria_common", "planaria_hash", "planaria_lint", "serde", "rand"] {
+        assert!(
+            config.crate_idents.iter().any(|c| c == ident),
+            "missing {ident} in {:?}",
+            config.crate_idents
+        );
+    }
+}

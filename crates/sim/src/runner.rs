@@ -20,10 +20,11 @@
 //! the output is bit-identical to a serial run regardless of thread
 //! count (`tests/parallel_engine.rs` asserts this).
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use planaria_hash::FastHashMap;
 
 use planaria_core::Prefetcher;
 use planaria_telemetry::TelemetryReport;
@@ -157,7 +158,7 @@ type ProgressFn = Arc<dyn Fn(ProgressEvent<'_>) + Send + Sync>;
 /// *different* traces build concurrently while two needing the *same*
 /// trace share one build.
 struct TraceCache {
-    slots: Mutex<HashMap<(AppId, usize), TraceSlot>>,
+    slots: Mutex<FastHashMap<(AppId, usize), TraceSlot>>,
     builds: AtomicUsize,
 }
 
@@ -167,7 +168,7 @@ type TraceSlot = Arc<OnceLock<Arc<Trace>>>;
 
 impl TraceCache {
     fn new() -> Self {
-        Self { slots: Mutex::new(HashMap::new()), builds: AtomicUsize::new(0) }
+        Self { slots: Mutex::new(FastHashMap::default()), builds: AtomicUsize::new(0) }
     }
 
     fn get(&self, app: AppId, length: usize) -> Arc<Trace> {

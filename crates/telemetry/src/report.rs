@@ -2,6 +2,7 @@
 
 use core::fmt::Write as _;
 
+use planaria_common::json;
 use planaria_common::{DeviceId, PrefetchOrigin};
 
 use crate::event::{origin_index, origin_label, Event, EventKind};
@@ -147,7 +148,7 @@ impl TelemetryReport {
         let _ = writeln!(
             out,
             "{{\"type\":\"meta\",\"label\":\"{}\",\"events\":{},\"events_dropped\":{}}}",
-            escape_json(label),
+            json::escape(label),
             self.events.len(),
             self.events_dropped
         );
@@ -288,25 +289,6 @@ impl TelemetryReport {
     }
 }
 
-/// Escapes a string for embedding in a JSON string literal.
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,7 +353,8 @@ mod tests {
     }
 
     #[test]
-    fn escape_handles_quotes() {
-        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+    fn jsonl_escapes_labels_through_shared_helper() {
+        let jsonl = sample_report().to_jsonl("a\"b\\c");
+        assert!(jsonl.starts_with("{\"type\":\"meta\",\"label\":\"a\\\"b\\\\c\""), "{jsonl}");
     }
 }

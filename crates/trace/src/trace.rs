@@ -1,9 +1,9 @@
 //! The in-memory trace container and its summary statistics.
 
-use std::collections::HashSet;
 use std::fmt;
 
 use planaria_common::{DeviceId, MemAccess, PageNum};
+use planaria_hash::FastHashSet;
 
 /// An ordered sequence of demand accesses plus a workload name.
 ///
@@ -64,7 +64,7 @@ impl Trace {
 
     /// Number of distinct 4 KB pages touched.
     pub fn unique_pages(&self) -> usize {
-        let pages: HashSet<PageNum> = self.accesses.iter().map(|a| a.addr.page()).collect();
+        let pages: FastHashSet<PageNum> = self.accesses.iter().map(|a| a.addr.page()).collect();
         pages.len()
     }
 

@@ -6,6 +6,7 @@
 //! consumers that would bring the real serde).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use proc_macro::TokenStream;
 
