@@ -20,6 +20,14 @@ fi
 step "cargo test -q"
 cargo test -q --workspace
 
+step "determinism oracle (debug build)"
+# The debug build is the strict one: debug_assert invariants (similarity
+# bounds, eviction-order checks) are live, and overflow checks are on. The
+# oracle proves bit-identical SimResults across worker thread counts (1 vs
+# 8), across hashers (SipHash vs FxHash), and across repeated runs — the
+# property every committed figure depends on. Runs in `fast` mode too.
+cargo test -q -p planaria-sim --test determinism
+
 step "cargo bench --no-run (benches must compile)"
 cargo bench --no-run --workspace
 

@@ -13,10 +13,20 @@
 //! cargo run --release -p planaria-bench --bin contention -- --check FILE
 //! ```
 
+use planaria_bench::cli;
 use planaria_common::json;
 use planaria_sim::experiment::PrefetcherKind;
 use planaria_sim::{Cell, Job, Runner, TrafficConfig};
 use planaria_trace::apps::AppId;
+
+/// One-line usage summary (stderr on `--help` and on argument errors).
+const USAGE: &str = "usage: contention [--len N] [--apps CFM,HoK,...] [--threads N] \
+                     [--windows 2,8,32] [--out FILE] | --check FILE";
+
+/// Reports a usage error and exits 2 (never returns).
+fn fail(msg: String) -> ! {
+    cli::usage_error(USAGE, msg)
+}
 
 /// Default accesses per application trace (kept small enough for CI).
 const DEFAULT_LEN: usize = 30_000;
@@ -34,53 +44,50 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--len" => {
-                let v = args.next().expect("--len needs a value");
-                len = v.replace('_', "").parse().expect("--len must be an integer");
+                len = cli::positive_count("--len", args.next()).unwrap_or_else(|e| fail(e));
             }
             "--apps" => {
-                let v = args.next().expect("--apps needs a comma-separated list");
+                let v = cli::value_of("--apps", args.next()).unwrap_or_else(|e| fail(e));
                 apps = v
                     .split(',')
                     .map(|abbr| {
                         AppId::ALL
                             .into_iter()
                             .find(|a| a.abbr().eq_ignore_ascii_case(abbr.trim()))
-                            .unwrap_or_else(|| panic!("unknown app abbreviation {abbr:?}"))
+                            .unwrap_or_else(|| fail(format!("unknown app abbreviation {abbr:?}")))
                     })
                     .collect();
             }
             "--threads" => {
-                let v = args.next().expect("--threads needs a value");
-                let n: usize = v.parse().expect("--threads must be an integer");
-                assert!(n > 0, "--threads must be positive");
-                threads = Some(n);
+                threads =
+                    Some(cli::positive_count("--threads", args.next()).unwrap_or_else(|e| fail(e)));
             }
             "--windows" => {
-                let v = args.next().expect("--windows needs a comma-separated list");
+                let v = cli::value_of("--windows", args.next()).unwrap_or_else(|e| fail(e));
                 windows = v
                     .split(',')
-                    .map(|w| {
-                        let w: usize = w.trim().parse().expect("--windows entries are integers");
-                        assert!(w > 0, "--windows entries must be positive");
-                        w
+                    .map(|w| match w.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => fail(format!("--windows entries must be positive integers: {w:?}")),
                     })
                     .collect();
-                assert!(!windows.is_empty(), "--windows needs at least one entry");
+                if windows.is_empty() {
+                    fail("--windows needs at least one entry".into());
+                }
             }
-            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--out" => {
+                out_path = cli::value_of("--out", args.next()).unwrap_or_else(|e| fail(e));
+            }
             "--check" => {
-                let path = args.next().expect("--check needs a path");
+                let path = cli::value_of("--check", args.next()).unwrap_or_else(|e| fail(e));
                 check(&path);
                 return;
             }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: contention [--len N] [--apps CFM,HoK,...] [--threads N] \
-                     [--windows 2,8,32] [--out FILE] | --check FILE"
-                );
+                eprintln!("{USAGE}");
                 return;
             }
-            other => panic!("unknown argument {other:?} (try --help)"),
+            other => fail(format!("unknown argument {other:?}")),
         }
     }
 
@@ -144,8 +151,10 @@ fn main() {
 
 /// Validates a previously written file; exits non-zero on bad JSON.
 fn check(path: &str) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("--check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
     if let Err(e) = json::validate(&text) {
         eprintln!("{path}: malformed JSON: {e}");
         std::process::exit(1);

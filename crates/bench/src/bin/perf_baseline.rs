@@ -22,10 +22,19 @@
 
 use std::time::Instant;
 
+use planaria_bench::cli;
 use planaria_common::json;
 use planaria_sim::experiment::PrefetcherKind;
 use planaria_sim::{MemorySystem, SystemConfig};
 use planaria_trace::apps::{profile, AppId};
+
+/// One-line usage summary (stderr on `--help` and on argument errors).
+const USAGE: &str = "usage: perf_baseline [--len N] [--repeats N] [--out FILE] | --check FILE";
+
+/// Reports a usage error and exits 2 (never returns).
+fn fail(msg: String) -> ! {
+    cli::usage_error(USAGE, msg)
+}
 
 /// Default accesses per application trace (kept small enough for CI).
 const DEFAULT_LEN: usize = 200_000;
@@ -57,27 +66,24 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--len" => {
-                let v = args.next().expect("--len needs a value");
-                len = v.replace('_', "").parse().expect("--len must be an integer");
+                len = cli::positive_count("--len", args.next()).unwrap_or_else(|e| fail(e));
             }
             "--repeats" => {
-                let v = args.next().expect("--repeats needs a value");
-                repeats = v.parse().expect("--repeats must be an integer");
-                assert!(repeats >= 1, "--repeats must be at least 1");
+                repeats = cli::positive_count("--repeats", args.next()).unwrap_or_else(|e| fail(e));
             }
-            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--out" => {
+                out_path = cli::value_of("--out", args.next()).unwrap_or_else(|e| fail(e));
+            }
             "--check" => {
-                let path = args.next().expect("--check needs a path");
+                let path = cli::value_of("--check", args.next()).unwrap_or_else(|e| fail(e));
                 check(&path);
                 return;
             }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: perf_baseline [--len N] [--repeats N] [--out FILE] | --check FILE"
-                );
+                eprintln!("{USAGE}");
                 return;
             }
-            other => panic!("unknown argument {other:?} (try --help)"),
+            other => fail(format!("unknown argument {other:?}")),
         }
     }
 
@@ -143,15 +149,48 @@ fn main() {
     }
 }
 
-/// Validates a previously written file; exits non-zero on bad JSON.
+/// Validates a previously written file; exits non-zero on bad JSON or an
+/// internally inconsistent measurement.
 fn check(path: &str) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
-    if let Err(e) = json::validate(&text) {
-        eprintln!("{path}: malformed JSON: {e}");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("--check: cannot read {path}: {e}");
         std::process::exit(1);
+    });
+    match check_doc(&text) {
+        Ok(summary) => println!("{path}: {summary}"),
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
     }
-    println!("{path}: well-formed JSON");
+}
+
+/// The `--check` predicate: the document must be well-formed
+/// `planaria-perf-v1` JSON, and — whenever a baseline block is recorded —
+/// the measurement's `len_per_app` must match the baseline's, because the
+/// emitted `speedup_total` compares the two directly and a `--len`
+/// mismatch silently turns it into a fiction (shorter traces spend
+/// proportionally more time in warmup-phase table misses).
+fn check_doc(text: &str) -> Result<String, String> {
+    let doc = json::parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    match doc.get("schema").and_then(|v| v.as_str()) {
+        Some("planaria-perf-v1") => {}
+        Some(other) => return Err(format!("unexpected schema {other:?} (want planaria-perf-v1)")),
+        None => return Err("missing \"schema\" key".into()),
+    }
+    let len =
+        doc.get("len_per_app").and_then(|v| v.as_f64()).ok_or("missing numeric \"len_per_app\"")?;
+    let baseline = doc.get("baseline").ok_or("missing \"baseline\" key")?;
+    if let Some(base_len) = baseline.get("len_per_app").and_then(|v| v.as_f64()) {
+        if base_len != len {
+            return Err(format!(
+                "len_per_app mismatch: measurement ran --len {len:.0} but the recorded \
+                 baseline was taken at --len {base_len:.0}; the speedup comparison is \
+                 invalid (re-run without --len, or at --len {base_len:.0})"
+            ));
+        }
+    }
+    Ok(format!("well-formed planaria-perf-v1 measurement (len_per_app {len:.0})"))
 }
 
 /// Renders the measurement document (fixed key order, so diffs are clean).
@@ -214,4 +253,40 @@ fn render(len: usize, rows: &[(&str, u64, f64)], total_accesses: u64, total_secs
     }
     w.end_object();
     w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<(&'static str, u64, f64)> {
+        vec![("None", 1000, 0.5), ("Planaria", 1000, 1.0)]
+    }
+
+    #[test]
+    fn rendered_doc_at_baseline_len_passes_check() {
+        let doc = render(BASELINE_LEN, &rows(), 2000, 1.5);
+        let msg = check_doc(&doc).expect("fresh measurement must pass its own check");
+        assert!(msg.contains("planaria-perf-v1"), "{msg}");
+    }
+
+    #[test]
+    fn check_rejects_len_mismatch_against_recorded_baseline() {
+        // A measurement taken at a different --len than the committed
+        // baseline must fail --check with an actionable message, not slip
+        // through as a bogus speedup.
+        let doc = render(BASELINE_LEN / 2, &rows(), 2000, 1.5);
+        let err = check_doc(&doc).expect_err("len mismatch must fail");
+        assert!(err.contains("len_per_app mismatch"), "{err}");
+        assert!(err.contains("re-run"), "message must say how to fix it: {err}");
+    }
+
+    #[test]
+    fn check_rejects_malformed_and_misschemaed_documents() {
+        assert!(check_doc("{").expect_err("truncated").contains("malformed"));
+        assert!(check_doc("{\"schema\": \"planaria-contention-v1\"}")
+            .expect_err("wrong schema")
+            .contains("unexpected schema"));
+        assert!(check_doc("{\"x\": 1}").expect_err("no schema").contains("missing"));
+    }
 }

@@ -182,6 +182,65 @@ impl HarnessArgs {
     }
 }
 
+/// Graceful command-line error handling for the measurement binaries.
+///
+/// The figure harnesses go through [`HarnessArgs`] and may panic on bad
+/// input (developer-facing, documented). The *measurement* binaries
+/// (`perf_baseline`, `contention`) are run from CI and scripts, where a
+/// panic with a backtrace hint buries the actual mistake; they report
+/// `error: …` plus their usage line on stderr and exit with status 2
+/// (the conventional "usage error" code, distinct from a failed check's
+/// exit 1).
+pub mod cli {
+    use std::fmt::Display;
+
+    /// Prints `error: {msg}`, the usage line, and exits with status 2.
+    pub fn usage_error(usage: &str, msg: impl Display) -> ! {
+        eprintln!("error: {msg}");
+        eprintln!("{usage}");
+        std::process::exit(2);
+    }
+
+    /// The value following a flag, or a "needs a value" error.
+    pub fn value_of(flag: &str, v: Option<String>) -> Result<String, String> {
+        v.ok_or_else(|| format!("{flag} needs a value"))
+    }
+
+    /// Parses a flag's value as a positive integer (underscores allowed,
+    /// so `--len 200_000` reads like the source constants).
+    pub fn positive_count(flag: &str, v: Option<String>) -> Result<usize, String> {
+        let v = value_of(flag, v)?;
+        let n: usize = v
+            .replace('_', "")
+            .parse()
+            .map_err(|_| format!("{flag} must be an integer (got {v:?})"))?;
+        if n == 0 {
+            return Err(format!("{flag} must be at least 1"));
+        }
+        Ok(n)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn positive_count_parses_with_underscores() {
+            assert_eq!(positive_count("--len", Some("200_000".into())), Ok(200_000));
+            assert_eq!(positive_count("--repeats", Some("5".into())), Ok(5));
+        }
+
+        #[test]
+        fn positive_count_rejects_garbage_zero_and_missing() {
+            assert!(positive_count("--len", Some("fast".into()))
+                .is_err_and(|e| e.contains("--len") && e.contains("integer")));
+            assert!(positive_count("--repeats", Some("0".into()))
+                .is_err_and(|e| e.contains("at least 1")));
+            assert!(value_of("--out", None).is_err_and(|e| e.contains("needs a value")));
+        }
+    }
+}
+
 /// Renders a unit-interval value as a crude horizontal bar (figure flavour).
 pub fn bar(frac: f64, width: usize) -> String {
     let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;

@@ -138,12 +138,11 @@ impl Default for Planaria {
     }
 }
 
-impl Prefetcher for Planaria {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn on_access(&mut self, access: &MemAccess, hit: bool, out: &mut Vec<PrefetchRequest>) {
+impl Planaria {
+    /// The per-access coordinator step, shared verbatim by the single and
+    /// batched [`Prefetcher`] entry points so the two can never diverge.
+    #[inline]
+    fn step(&mut self, access: &MemAccess, hit: bool, out: &mut Vec<PrefetchRequest>) {
         let ch = access.addr.channel().as_usize();
         let page = access.addr.page().as_u64();
         let offset = access.addr.block_index().index_in_segment();
@@ -204,6 +203,24 @@ impl Prefetcher for Planaria {
             _ => {}
         }
         out.truncate(before + self.cfg.max_degree);
+    }
+}
+
+impl Prefetcher for Planaria {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_access(&mut self, access: &MemAccess, hit: bool, out: &mut Vec<PrefetchRequest>) {
+        self.step(access, hit, out);
+    }
+
+    fn on_batch(&mut self, batch: &[(MemAccess, bool)], out: &mut Vec<PrefetchRequest>) {
+        // One virtual dispatch for the whole chunk; the inner loop is a
+        // direct (inlined) call into the coordinator step.
+        for (access, hit) in batch {
+            self.step(access, *hit, out);
+        }
     }
 
     fn storage_bits(&self) -> u64 {

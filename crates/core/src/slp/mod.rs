@@ -123,7 +123,7 @@ impl ChannelSlp {
 
     /// Whether SLP holds history for `page` (the coordinator's selection
     /// rule: TLP may issue only when this is `false`).
-    pub(crate) fn has_pattern(&self, page: u64) -> bool {
+    pub(crate) fn has_pattern(&mut self, page: u64) -> bool {
         self.pt.contains(page)
     }
 

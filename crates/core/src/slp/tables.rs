@@ -14,16 +14,27 @@
 //!
 //! All tables are indexed by page number only — no PC exists at the system
 //! cache. Timeouts are implemented with lazy expiry queues so each access
-//! costs amortised O(1), and the maps hash with the deterministic
-//! [`planaria_hash`] hasher (these lookups run on every simulated access).
-//! Any decision that scans a map — victim selection in particular — must
-//! break ties on the page number so results never depend on iteration
-//! order, i.e. on the hasher.
+//! costs amortised O(1).
+//!
+//! # Data-oriented layout
+//!
+//! Each table is stored struct-of-arrays: a fixed-capacity open-addressed
+//! [`FixedIndex`] maps `page → slot`, and every entry field lives in its
+//! own dense array indexed by slot. The lookups run on every simulated
+//! access, so they must be one hash plus a short flat-array probe; the
+//! victim scans walk only the fields they compare (timestamps and pages)
+//! instead of dragging whole map entries through the cache. Occupied slots
+//! are tracked in a `valid` bitmask whose set bits drive the scans, and a
+//! free list recycles slots, so the dense arrays never reallocate.
+//!
+//! Any decision that scans the table — victim selection in particular —
+//! must break ties on the page number so results never depend on slot
+//! assignment or probe order, i.e. on the hasher.
 
 use std::collections::VecDeque;
 
 use planaria_common::{Bitmap16, Cycle};
-use planaria_hash::{map_with_capacity, FastHashMap};
+use planaria_hash::FixedIndex;
 
 /// How the Pattern History Table reconciles a freshly captured snapshot
 /// with a previously learned pattern for the same page.
@@ -57,6 +68,9 @@ impl core::fmt::Display for PatternMerge {
 /// Number of distinct offsets an FT entry must record before promotion.
 pub(crate) const FT_PROMOTE_COUNT: usize = 3;
 
+/// Segment-local block offsets fit the 16-bit footprint bitmaps.
+const SEGMENT_BLOCKS: usize = 16;
+
 /// What [`FilterTable::record`] did with an access — distinguished so the
 /// telemetry layer can count allocations, recordings and promotions
 /// separately.
@@ -82,17 +96,118 @@ impl FtOutcome {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct FtEntry {
-    offsets: [u8; FT_PROMOTE_COUNT],
-    count: u8,
-    last: Cycle,
+/// Bounds `offset` to the segment bitmap width, returning it as the
+/// narrow type the tables store. A bare `as u8` here once truncated
+/// out-of-range offsets silently; the tables' addressing invariant
+/// (segment-local offsets are always `< 16`) is now enforced loudly.
+#[inline]
+fn checked_offset(offset: usize) -> u8 {
+    assert!(
+        offset < SEGMENT_BLOCKS,
+        "segment-local block offset {offset} exceeds the {SEGMENT_BLOCKS}-block segment bitmap"
+    );
+    offset as u8
+}
+
+/// Shared slot bookkeeping for the SoA tables: a `page → slot` hash index,
+/// the dense `pages` array it mirrors, a validity bitmask driving scans,
+/// and a free list recycling slots. Field arrays live in the owning table.
+#[derive(Debug, Clone)]
+struct SlotMap {
+    index: FixedIndex,
+    /// Page number per slot; meaningful only where `valid` is set.
+    pages: Vec<u64>,
+    /// Bit *s* set ⇔ slot *s* holds a live entry.
+    valid: Vec<u64>,
+    /// Recyclable slots, popped in ascending order at first fill.
+    free: Vec<u32>,
+    /// Last page probed. Demand accesses arrive in page bursts, and each
+    /// access probes the same table more than once (learn then issue), so
+    /// this one-entry memo short-circuits most index probes. `u64::MAX`
+    /// (never a valid key) means empty.
+    memo_page: u64,
+    /// Memoized result for `memo_page`; `u32::MAX` records a miss. Misses
+    /// are safe to memoize because the only insertion path, [`Self::alloc`],
+    /// refreshes the memo.
+    memo_slot: u32,
+}
+
+impl SlotMap {
+    fn new(slots: usize) -> Self {
+        Self {
+            index: FixedIndex::with_capacity(slots),
+            pages: vec![0; slots],
+            valid: vec![0; slots.div_ceil(64)],
+            free: (0..slots as u32).rev().collect(),
+            memo_page: u64::MAX,
+            memo_slot: u32::MAX,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    #[inline]
+    fn get(&mut self, page: u64) -> Option<usize> {
+        if page == self.memo_page {
+            return (self.memo_slot != u32::MAX).then_some(self.memo_slot as usize);
+        }
+        let slot = self.index.get(page);
+        self.memo_page = page;
+        self.memo_slot = slot.unwrap_or(u32::MAX);
+        slot.map(|s| s as usize)
+    }
+
+    /// Claims a free slot for `page`. The caller must have made room.
+    fn alloc(&mut self, page: u64) -> usize {
+        let slot = self.free.pop().expect("capacity eviction precedes allocation") as usize;
+        self.index.insert(page, slot as u32);
+        self.pages[slot] = page;
+        self.valid[slot / 64] |= 1 << (slot % 64);
+        self.memo_page = page;
+        self.memo_slot = slot as u32;
+        slot
+    }
+
+    /// Releases `page`'s slot, returning it for field cleanup.
+    fn release(&mut self, page: u64) -> Option<usize> {
+        let slot = self.index.remove(page)? as usize;
+        self.valid[slot / 64] &= !(1 << (slot % 64));
+        self.free.push(slot as u32);
+        if self.memo_page == page {
+            self.memo_slot = u32::MAX;
+        }
+        Some(slot)
+    }
+
+    /// The slot minimising `(lasts[slot], page)` over live slots — the
+    /// eviction total order. Ties on the timestamp break on the page
+    /// number, never on slot assignment (which depends on the hasher).
+    fn oldest(&self, lasts: &[Cycle]) -> Option<usize> {
+        let mut best: Option<(Cycle, u64, usize)> = None;
+        for (w, &word) in self.valid.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let slot = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let key = (lasts[slot], self.pages[slot]);
+                if best.is_none_or(|(l, p, _)| key < (l, p)) {
+                    best = Some((key.0, key.1, slot));
+                }
+            }
+        }
+        best.map(|(_, _, slot)| slot)
+    }
 }
 
 /// The Filter Table: pre-screens pages before they earn an AT entry.
 #[derive(Debug, Clone)]
 pub(crate) struct FilterTable {
-    map: FastHashMap<u64, FtEntry>,
+    slots: SlotMap,
+    offsets: Vec<[u8; FT_PROMOTE_COUNT]>,
+    counts: Vec<u8>,
+    lasts: Vec<Cycle>,
     expiry: VecDeque<(u64, Cycle)>,
     capacity: usize,
     timeout: u64,
@@ -103,7 +218,10 @@ impl FilterTable {
     pub(crate) fn new(capacity: usize, timeout: u64) -> Self {
         assert!(capacity > 0, "FT capacity must be positive");
         Self {
-            map: map_with_capacity(capacity),
+            slots: SlotMap::new(capacity),
+            offsets: vec![[0; FT_PROMOTE_COUNT]; capacity],
+            counts: vec![0; capacity],
+            lasts: vec![Cycle::ZERO; capacity],
             expiry: VecDeque::new(),
             capacity,
             timeout,
@@ -112,37 +230,45 @@ impl FilterTable {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.map.len()
+        self.slots.len()
     }
 
     /// Records `offset` (0..16) for `page`; the outcome carries the
     /// three-offset bitmap when the entry reaches the promotion threshold
     /// (which also removes it from the table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not fit the 16-block segment bitmap.
     pub(crate) fn record(&mut self, page: u64, offset: usize, now: Cycle) -> FtOutcome {
+        let offset = checked_offset(offset);
         self.accesses += 1;
         self.sweep(now);
-        match self.map.get_mut(&page) {
-            Some(e) => {
-                e.last = now;
-                let known = e.offsets[..e.count as usize].contains(&(offset as u8));
+        match self.slots.get(page) {
+            Some(slot) => {
+                self.lasts[slot] = now;
+                let count = self.counts[slot] as usize;
+                let known = self.offsets[slot][..count].contains(&offset);
                 if !known {
-                    e.offsets[e.count as usize] = offset as u8;
-                    e.count += 1;
-                    if e.count as usize == FT_PROMOTE_COUNT {
-                        let e = self.map.remove(&page).expect("entry just updated");
-                        let bitmap = e.offsets.iter().map(|&o| o as usize).collect::<Bitmap16>();
+                    self.offsets[slot][count] = offset;
+                    self.counts[slot] = count as u8 + 1;
+                    if count + 1 == FT_PROMOTE_COUNT {
+                        let bitmap =
+                            self.offsets[slot].iter().map(|&o| o as usize).collect::<Bitmap16>();
+                        self.slots.release(page);
                         return FtOutcome::Promoted(bitmap);
                     }
                 }
                 FtOutcome::Recorded
             }
             None => {
-                if self.map.len() >= self.capacity {
+                if self.slots.len() >= self.capacity {
                     self.evict_oldest();
                 }
-                let mut offsets = [0u8; FT_PROMOTE_COUNT];
-                offsets[0] = offset as u8;
-                self.map.insert(page, FtEntry { offsets, count: 1, last: now });
+                let slot = self.slots.alloc(page);
+                self.offsets[slot][0] = offset;
+                self.counts[slot] = 1;
+                self.lasts[slot] = now;
                 self.expiry.push_back((page, now));
                 FtOutcome::Allocated
             }
@@ -151,17 +277,16 @@ impl FilterTable {
 
     /// Offsets recorded so far for `page`, as a bitmap (blocks already
     /// accessed in the current visit while the page is still filtering).
-    pub(crate) fn observed(&self, page: u64) -> Option<Bitmap16> {
-        self.map
-            .get(&page)
-            .map(|e| e.offsets[..e.count as usize].iter().map(|&o| o as usize).collect())
+    pub(crate) fn observed(&mut self, page: u64) -> Option<Bitmap16> {
+        let slot = self.slots.get(page)?;
+        Some(self.offsets[slot][..self.counts[slot] as usize].iter().map(|&o| o as usize).collect())
     }
 
     fn evict_oldest(&mut self) {
         // Total order (last, page): equal timestamps would otherwise be
-        // broken by map iteration order, i.e. by the hasher.
-        if let Some((&victim, _)) = self.map.iter().min_by_key(|(&page, e)| (e.last, page)) {
-            self.map.remove(&victim);
+        // broken by slot assignment, i.e. by the hasher.
+        if let Some(slot) = self.slots.oldest(&self.lasts) {
+            self.slots.release(self.slots.pages[slot]);
         }
     }
 
@@ -173,11 +298,11 @@ impl FilterTable {
                 break;
             }
             self.expiry.pop_front();
-            if let Some(e) = self.map.get(&page) {
-                if now.since(e.last) >= self.timeout {
-                    self.map.remove(&page);
+            if let Some(slot) = self.slots.get(page) {
+                let last = self.lasts[slot];
+                if now.since(last) >= self.timeout {
+                    self.slots.release(page);
                 } else {
-                    let last = e.last;
                     self.expiry.push_back((page, last));
                 }
             }
@@ -185,16 +310,12 @@ impl FilterTable {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct AtEntry {
-    bitmap: Bitmap16,
-    last: Cycle,
-}
-
 /// The Accumulation Table: builds the footprint bitmap of in-flight pages.
 #[derive(Debug, Clone)]
 pub(crate) struct AccumulationTable {
-    map: FastHashMap<u64, AtEntry>,
+    slots: SlotMap,
+    bitmaps: Vec<Bitmap16>,
+    lasts: Vec<Cycle>,
     expiry: VecDeque<(u64, Cycle)>,
     capacity: usize,
     timeout: u64,
@@ -205,7 +326,9 @@ impl AccumulationTable {
     pub(crate) fn new(capacity: usize, timeout: u64) -> Self {
         assert!(capacity > 0, "AT capacity must be positive");
         Self {
-            map: map_with_capacity(capacity),
+            slots: SlotMap::new(capacity),
+            bitmaps: vec![Bitmap16::EMPTY; capacity],
+            lasts: vec![Cycle::ZERO; capacity],
             expiry: VecDeque::new(),
             capacity,
             timeout,
@@ -214,16 +337,17 @@ impl AccumulationTable {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.map.len()
+        self.slots.len()
     }
 
     /// Sets `offset`'s bit for an existing entry. Returns `true` on hit.
+    #[inline]
     pub(crate) fn record(&mut self, page: u64, offset: usize, now: Cycle) -> bool {
         self.accesses += 1;
-        match self.map.get_mut(&page) {
-            Some(e) => {
-                e.bitmap.set(offset);
-                e.last = now;
+        match self.slots.get(page) {
+            Some(slot) => {
+                self.bitmaps[slot].set(offset);
+                self.lasts[slot] = now;
                 true
             }
             None => false,
@@ -232,8 +356,9 @@ impl AccumulationTable {
 
     /// Bits accumulated so far for `page` (blocks already accessed in the
     /// current visit).
-    pub(crate) fn observed(&self, page: u64) -> Option<Bitmap16> {
-        self.map.get(&page).map(|e| e.bitmap)
+    pub(crate) fn observed(&mut self, page: u64) -> Option<Bitmap16> {
+        let slot = self.slots.get(page)?;
+        Some(self.bitmaps[slot])
     }
 
     /// Inserts a freshly promoted page. A capacity eviction transfers the
@@ -246,15 +371,18 @@ impl AccumulationTable {
         now: Cycle,
     ) -> Option<(u64, Bitmap16)> {
         let mut spilled = None;
-        if self.map.len() >= self.capacity {
+        if self.slots.len() >= self.capacity {
             // Total order (last, page): equal timestamps would otherwise
-            // be broken by map iteration order, i.e. by the hasher.
-            if let Some((&victim, _)) = self.map.iter().min_by_key(|(&page, e)| (e.last, page)) {
-                let e = self.map.remove(&victim).expect("victim exists");
-                spilled = Some((victim, e.bitmap));
+            // be broken by slot assignment, i.e. by the hasher.
+            if let Some(slot) = self.slots.oldest(&self.lasts) {
+                let victim = self.slots.pages[slot];
+                self.slots.release(victim);
+                spilled = Some((victim, self.bitmaps[slot]));
             }
         }
-        self.map.insert(page, AtEntry { bitmap, last: now });
+        let slot = self.slots.alloc(page);
+        self.bitmaps[slot] = bitmap;
+        self.lasts[slot] = now;
         self.expiry.push_back((page, now));
         spilled
     }
@@ -267,12 +395,12 @@ impl AccumulationTable {
                 break;
             }
             self.expiry.pop_front();
-            if let Some(e) = self.map.get(&page) {
-                if now.since(e.last) >= self.timeout {
-                    let e = self.map.remove(&page).expect("entry exists");
-                    out.push((page, e.bitmap));
+            if let Some(slot) = self.slots.get(page) {
+                let last = self.lasts[slot];
+                if now.since(last) >= self.timeout {
+                    out.push((page, self.bitmaps[slot]));
+                    self.slots.release(page);
                 } else {
-                    let last = e.last;
                     self.expiry.push_back((page, last));
                 }
             }
@@ -283,7 +411,8 @@ impl AccumulationTable {
 /// The Pattern History Table: page number → learned snapshot bitmap.
 #[derive(Debug, Clone)]
 pub(crate) struct PatternTable {
-    map: FastHashMap<u64, Bitmap16>,
+    slots: SlotMap,
+    bitmaps: Vec<Bitmap16>,
     fifo: VecDeque<u64>,
     capacity: usize,
     merge: PatternMerge,
@@ -298,8 +427,11 @@ impl PatternTable {
 
     pub(crate) fn with_merge(capacity: usize, merge: PatternMerge) -> Self {
         assert!(capacity > 0, "PT capacity must be positive");
+        // One spare slot: insertion precedes the FIFO eviction sweep, so
+        // the table transiently holds `capacity + 1` live entries.
         Self {
-            map: map_with_capacity(capacity),
+            slots: SlotMap::new(capacity + 1),
+            bitmaps: vec![Bitmap16::EMPTY; capacity + 1],
             fifo: VecDeque::with_capacity(capacity),
             capacity,
             merge,
@@ -308,7 +440,7 @@ impl PatternTable {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.map.len()
+        self.slots.len()
     }
 
     /// Stores (or merges, per the configured [`PatternMerge`]) the learned
@@ -318,47 +450,152 @@ impl PatternTable {
         if bitmap.is_empty() {
             return;
         }
-        let merged = match (self.merge, self.map.get(&page)) {
-            (PatternMerge::Union, Some(&old)) => old.or(bitmap),
-            (PatternMerge::Intersect, Some(&old)) => {
-                let both = old.and(bitmap);
-                if both.is_empty() {
-                    // An unstable pattern carries no signal: drop the entry
-                    // (the fifo slot goes stale and is skipped at eviction).
-                    self.map.remove(&page);
-                    return;
+        if let Some(slot) = self.slots.get(page) {
+            self.bitmaps[slot] = match self.merge {
+                PatternMerge::Union => self.bitmaps[slot].or(bitmap),
+                PatternMerge::Intersect => {
+                    let both = self.bitmaps[slot].and(bitmap);
+                    if both.is_empty() {
+                        // An unstable pattern carries no signal: drop the
+                        // entry (the fifo slot goes stale and is skipped
+                        // at eviction).
+                        self.slots.release(page);
+                        return;
+                    }
+                    both
                 }
-                both
-            }
-            _ => bitmap,
-        };
-        if self.map.insert(page, merged).is_none() {
-            self.fifo.push_back(page);
-            while self.map.len() > self.capacity {
-                if let Some(victim) = self.fifo.pop_front() {
-                    self.map.remove(&victim);
-                } else {
-                    break;
-                }
+                PatternMerge::Replace => bitmap,
+            };
+            return;
+        }
+        let slot = self.slots.alloc(page);
+        self.bitmaps[slot] = bitmap;
+        self.fifo.push_back(page);
+        while self.slots.len() > self.capacity {
+            if let Some(victim) = self.fifo.pop_front() {
+                self.slots.release(victim);
+            } else {
+                break;
             }
         }
     }
 
     /// The learned snapshot for `page`, if any.
+    #[inline]
     pub(crate) fn lookup(&mut self, page: u64) -> Option<Bitmap16> {
         self.accesses += 1;
-        self.map.get(&page).copied()
+        self.slots.get(page).map(|slot| self.bitmaps[slot])
     }
 
     /// Probe without counting a table access (coordinator's selection rule).
-    pub(crate) fn contains(&self, page: u64) -> bool {
-        self.map.contains_key(&page)
+    #[inline]
+    pub(crate) fn contains(&mut self, page: u64) -> bool {
+        self.slots.get(page).is_some()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The SoA slot engine (open-addressed index + dense arrays +
+        /// validity mask + memo) against the obvious reference: an ordered
+        /// map from page to last-touch cycle. Membership, occupancy, and —
+        /// crucially — the `(last, page)` eviction total order must agree
+        /// after every operation, whatever the touch/release interleaving.
+        #[test]
+        fn slotmap_matches_naive_map_model(
+            ops in proptest::collection::vec((0u64..24, any::<bool>()), 1..400),
+        ) {
+            const CAP: usize = 8;
+            let mut sm = SlotMap::new(CAP);
+            let mut lasts = vec![Cycle::ZERO; CAP];
+            let mut model: std::collections::BTreeMap<u64, Cycle> = Default::default();
+            for (i, &(page, release)) in ops.iter().enumerate() {
+                let now = Cycle::new(i as u64 + 1);
+                if release {
+                    let dropped = sm.release(page).is_some();
+                    prop_assert_eq!(dropped, model.remove(&page).is_some());
+                } else if let Some(slot) = sm.get(page) {
+                    prop_assert!(model.contains_key(&page), "phantom hit for page {}", page);
+                    lasts[slot] = now;
+                    model.insert(page, now);
+                } else {
+                    prop_assert!(!model.contains_key(&page), "lost page {}", page);
+                    if sm.len() >= CAP {
+                        let victim = sm.oldest(&lasts).expect("full table has a victim");
+                        let victim_page = sm.pages[victim];
+                        let model_victim = model
+                            .iter()
+                            .map(|(&p, &l)| (l, p))
+                            .min()
+                            .map(|(_, p)| p)
+                            .expect("model is full too");
+                        prop_assert_eq!(victim_page, model_victim, "eviction order diverged");
+                        sm.release(victim_page);
+                        model.remove(&victim_page);
+                    }
+                    let slot = sm.alloc(page);
+                    lasts[slot] = now;
+                    model.insert(page, now);
+                }
+                prop_assert_eq!(sm.len(), model.len());
+            }
+            // Final sweep: every surviving page resolves to a live slot
+            // holding it, and nothing else does.
+            for &page in model.keys() {
+                let slot = sm.get(page).expect("model page must be present");
+                prop_assert_eq!(sm.pages[slot], page);
+            }
+        }
+
+        /// The Filter Table end to end: occupancy never exceeds capacity,
+        /// and a page's observed bitmap always equals the distinct offsets
+        /// recorded since its current allocation.
+        #[test]
+        fn ft_observed_matches_recorded_offsets(
+            ops in proptest::collection::vec((0u64..12, 0usize..SEGMENT_BLOCKS), 1..300),
+        ) {
+            const CAP: usize = 4;
+            let mut ft = FilterTable::new(CAP, u64::MAX);
+            let mut recorded: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+            for (i, &(page, offset)) in ops.iter().enumerate() {
+                let now = Cycle::new(i as u64 + 1);
+                match ft.record(page, offset, now) {
+                    FtOutcome::Allocated => {
+                        // A fresh allocation may have evicted some other
+                        // filtering page; resync membership from the table.
+                        recorded.retain(|&p, _| p == page || ft.observed(p).is_some());
+                        recorded.insert(page, vec![offset]);
+                    }
+                    FtOutcome::Recorded => {
+                        let offs = recorded.get_mut(&page).expect("recorded page is tracked");
+                        if !offs.contains(&offset) {
+                            offs.push(offset);
+                        }
+                    }
+                    FtOutcome::Promoted(bm) => {
+                        let mut offs = recorded.remove(&page).expect("promoted page was tracked");
+                        offs.push(offset);
+                        offs.sort_unstable();
+                        prop_assert_eq!(bm.iter_set().collect::<Vec<_>>(), offs);
+                    }
+                }
+                prop_assert!(ft.len() <= CAP, "FT overflowed its capacity");
+                for (&p, offs) in &recorded {
+                    let bm = ft.observed(p).expect("tracked page must be observable");
+                    let mut want = offs.clone();
+                    want.sort_unstable();
+                    prop_assert_eq!(bm.iter_set().collect::<Vec<_>>(), want);
+                }
+            }
+        }
+    }
 
     #[test]
     fn ft_promotes_after_three_distinct_offsets() {
@@ -395,6 +632,37 @@ mod tests {
         assert_eq!(ft.record(1, 2, Cycle::new(4)), FtOutcome::Recorded);
         let bm = ft.record(1, 3, Cycle::new(5)).promoted().expect("third distinct offset promotes");
         assert_eq!(bm.iter_set().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ft_accepts_boundary_offset_and_rejects_out_of_range() {
+        let mut ft = FilterTable::new(8, 1000);
+        // Offset 15 is the last block of a segment: must round-trip intact
+        // through the narrow stored form and into the promotion bitmap.
+        ft.record(1, 15, Cycle::new(0));
+        ft.record(1, 0, Cycle::new(1));
+        let bm = ft.record(1, 7, Cycle::new(2)).promoted().expect("promotion");
+        assert_eq!(bm.iter_set().collect::<Vec<_>>(), vec![0, 7, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16-block segment bitmap")]
+    fn ft_rejects_offset_past_segment_width() {
+        // 16 is the first out-of-range offset; the old `offset as u8` cast
+        // accepted it (and anything up to 255) silently, deferring the
+        // failure to an unrelated bitmap panic at promotion time — or, past
+        // 255, truncating to a wrong offset with no failure at all.
+        let mut ft = FilterTable::new(8, 1000);
+        ft.record(1, 16, Cycle::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16-block segment bitmap")]
+    fn ft_rejects_offset_that_would_silently_truncate() {
+        // 256 truncated to 0 under the old bare cast: the worst case the
+        // checked conversion exists for.
+        let mut ft = FilterTable::new(8, 1000);
+        ft.record(1, 256, Cycle::new(0));
     }
 
     #[test]
@@ -505,6 +773,24 @@ mod tests {
         // Disjoint snapshots: the pattern is unstable and gets dropped.
         pt.insert(1, Bitmap16::from_bits(0b1000));
         assert_eq!(pt.lookup(1), None);
+    }
+
+    #[test]
+    fn pt_stale_fifo_entries_are_skipped_at_eviction() {
+        // Intersect can drop an entry, leaving its FIFO slot stale. The
+        // eviction sweep must skip stale victims (they free no live entry)
+        // and keep popping until a live one goes.
+        let mut pt = PatternTable::with_merge(2, PatternMerge::Intersect);
+        pt.insert(1, Bitmap16::from_bits(0b01));
+        pt.insert(1, Bitmap16::from_bits(0b10)); // disjoint: entry dropped
+        assert_eq!(pt.len(), 0);
+        pt.insert(2, Bitmap16::from_bits(0b1));
+        pt.insert(3, Bitmap16::from_bits(0b1));
+        pt.insert(4, Bitmap16::from_bits(0b1)); // over capacity
+        assert_eq!(pt.len(), 2);
+        assert!(pt.lookup(2).is_none(), "page 2 was the live FIFO head");
+        assert!(pt.lookup(3).is_some());
+        assert!(pt.lookup(4).is_some());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use planaria_common::{
     Bitmap16, Cycle, MemAccess, PageNum, PhysAddr, PrefetchOrigin, PrefetchRequest, SegmentIndex,
     NUM_CHANNELS,
 };
-use planaria_hash::{map_with_capacity, FastHashMap};
+use planaria_hash::FixedIndex;
 use planaria_telemetry::{
     EventData, EventKind, Telemetry, TelemetryConfig, TelemetryReport, TransferReject,
 };
@@ -52,24 +52,31 @@ impl Default for TlpConfig {
 /// One channel's TLP instance with decoupled learning/issuing phases.
 ///
 /// The RPT is stored struct-of-arrays: the associative page lookup runs
-/// on every single access and is served by a hash index (`page → slot`),
-/// while the allocation path's pairwise Ref-bit recomputation and LRU
-/// victim scan walk dense `pages`/`lasts`/`refs` arrays instead of
-/// 40-byte `Option` entries.
+/// on every single access and is served by a fixed-capacity open-addressed
+/// index (`page → slot`), while the allocation-path LRU victim scan walks
+/// the dense `lasts` array instead of 40-byte `Option` entries.
+///
+/// The paper's per-entry Ref bits are not materialised. The Ref matrix is
+/// symmetric and fully determined by the live page numbers (`bit (i, j)` ⇔
+/// `|PN_i − PN_j| ≤ distance`), so the hardware's allocation-time pairwise
+/// recomputation — an O(entries) read-modify-write over every row's u128,
+/// on ~a third of all accesses in the Table 2 mix — is replaced by a
+/// branchless on-demand row build over the dense `pages` array on the
+/// issue path, which the compiler vectorises. The storage model still
+/// accounts the Ref bits (the hardware holds them; the simulator derives
+/// them), and the derived row is bit-identical to the maintained one.
 #[derive(Debug, Clone)]
 pub(crate) struct ChannelTlp {
     segment: usize,
     cfg: TlpConfig,
     /// `page → slot` index mirroring `pages` (pages are unique per table).
-    index: FastHashMap<u64, u32>,
+    index: FixedIndex,
     /// Page number of each slot; valid for slots below `filled`.
     pages: Vec<u64>,
     /// Recently-accessed-blocks bitmap per slot.
     bitmaps: Vec<Bitmap16>,
     /// Last-touch cycle per slot (LRU victim selection).
     lasts: Vec<Cycle>,
-    /// Bit *j* set ⇔ entry *j* is an address-space neighbour of this slot.
-    refs: Vec<u128>,
     /// Slots handed out so far; slots are never freed, so the first
     /// `filled` entries are exactly the occupied ones.
     filled: usize,
@@ -79,6 +86,13 @@ pub(crate) struct ChannelTlp {
     /// mapping only changes on allocation, which refreshes the memo.
     /// `u64::MAX` is never a real page number (pages are `addr >> 12`).
     last_lookup: (u64, u32),
+    /// Bumped on every allocation — the only event that changes any
+    /// derived Ref row (see [`ChannelTlp::ref_row`]).
+    epoch: u64,
+    /// One-entry derived-row memo `(slot, epoch, row)`: demand misses
+    /// arrive in page bursts, so consecutive `issue` calls rebuild the
+    /// same slot's row until the next allocation invalidates it.
+    row_memo: (u32, u64, u128),
     pub(crate) accesses: u64,
 }
 
@@ -92,13 +106,14 @@ impl ChannelTlp {
         Self {
             segment,
             cfg: *cfg,
-            index: map_with_capacity(cfg.entries),
+            index: FixedIndex::with_capacity(cfg.entries),
             pages: vec![0; cfg.entries],
             bitmaps: vec![Bitmap16::EMPTY; cfg.entries],
             lasts: vec![Cycle::ZERO; cfg.entries],
-            refs: vec![0; cfg.entries],
             filled: 0,
             last_lookup: (u64::MAX, 0),
+            epoch: 0,
+            row_memo: (u32::MAX, 0, 0),
             accesses: 0,
         }
     }
@@ -107,7 +122,7 @@ impl ChannelTlp {
         if self.last_lookup.0 == page {
             return Some(self.last_lookup.1 as usize);
         }
-        let slot = *self.index.get(&page)?;
+        let slot = self.index.get(page)?;
         self.last_lookup = (page, slot);
         Some(slot as usize)
     }
@@ -126,39 +141,60 @@ impl ChannelTlp {
             self.filled += 1;
             (v, false)
         } else {
-            let v = self.lasts[..self.filled]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .map(|(i, _)| i)
-                .expect("non-empty RPT");
-            self.index.remove(&self.pages[v]);
+            // First-minimum scan (the `min_by_key` contract): strict `<`
+            // keeps the earliest slot among equal timestamps, and the
+            // arithmetic selects compile without a data-dependent branch.
+            let mut min_t = self.lasts[0];
+            let mut v = 0usize;
+            for (i, &t) in self.lasts[1..self.filled].iter().enumerate() {
+                let better = t < min_t;
+                min_t = if better { t } else { min_t };
+                v = if better { i + 1 } else { v };
+            }
+            self.index.remove(self.pages[v]);
             (v, true)
         };
         tel.emit(EventKind::TlpRptAllocate, now, self.segment as u8, || {
             EventData::TlpRptAllocate { page, evicted }
         });
-        // The departing entry's Ref bits in everyone else are cleared; the
-        // newcomer's are recomputed pairwise (paper §4.2).
-        let mask = !(1u128 << victim);
-        let mut refs = 0u128;
-        for j in 0..self.filled {
-            if j == victim {
-                continue;
-            }
-            self.refs[j] &= mask;
-            if self.pages[j].abs_diff(page) <= self.cfg.distance_threshold {
-                self.refs[j] |= 1u128 << victim;
-                refs |= 1u128 << j;
-            }
-        }
+        // No Ref-bit maintenance here: the hardware recomputes the
+        // newcomer's row and patches its column in every other row (paper
+        // §4.2), but both are pure functions of the live page numbers, so
+        // [`ChannelTlp::ref_row`] derives them on demand instead.
         self.index.insert(page, victim as u32);
+        self.epoch += 1;
         // The victim slot's old page is gone; the newcomer owns the memo.
         self.last_lookup = (page, victim as u32);
         self.pages[victim] = page;
         self.bitmaps[victim] = Bitmap16::EMPTY.with(offset);
         self.lasts[victim] = now;
-        self.refs[victim] = refs;
+    }
+
+    /// Entry `i`'s Ref row, derived from the live page numbers: bit `j`
+    /// set ⇔ `|PN_i − PN_j| ≤ distance_threshold` and `j ≠ i`. Branchless —
+    /// each slot's neighbour verdict widens to an all-ones / all-zeros
+    /// mask and the one-hot bit advances by a shift of one — so the
+    /// compiler vectorises the sweep over the dense `pages` array.
+    /// Rows are pure functions of the live pages, which change only on
+    /// allocation, so a one-entry `(slot, epoch)` memo serves page bursts
+    /// without rebuilding.
+    #[inline]
+    fn ref_row(&mut self, i: usize) -> u128 {
+        if self.row_memo.0 == i as u32 && self.row_memo.1 == self.epoch {
+            return self.row_memo.2;
+        }
+        let my_page = self.pages[i];
+        let d = self.cfg.distance_threshold;
+        let mut row = 0u128;
+        let mut bit = 1u128;
+        for &p in &self.pages[..self.filled] {
+            let near = 0u128.wrapping_sub((p.abs_diff(my_page) <= d) as u128);
+            row |= bit & near;
+            bit <<= 1;
+        }
+        row &= !(1u128 << i);
+        self.row_memo = (i as u32, self.epoch, row);
+        row
     }
 
     /// Issuing phase: on a demand miss, transfer the most similar
@@ -183,28 +219,41 @@ impl ChannelTlp {
             return;
         };
         let my_bitmap = self.bitmaps[i];
-        let mut best: Option<(usize, Bitmap16, u64)> = None;
-        let mut neighbours: u8 = 0;
+        let refs = self.ref_row(i);
+        let neighbours = refs.count_ones() as u8;
+        // Popcount best-candidate scan over the Ref-flagged set bits.
+        // Seeding the running best at `min_common_bits − 1` folds the
+        // confidence threshold into the strict `>` comparison, so "first
+        // neighbour at the maximum wins" (the LRU-position tie-break) needs
+        // no separate qualification test inside the loop. The update stays
+        // a branch on purpose: it fires only when a new maximum appears
+        // (rare), where an arithmetic select would chain a loop-carried
+        // cmov dependency through every iteration.
+        let mut best_c = self.cfg.min_common_bits as isize - 1;
+        let mut best_j = usize::MAX;
         let mut best_any: usize = 0;
         // Ref bits only ever point at occupied slots (slots are never
         // freed, and eviction clears the departing slot's bit everywhere).
-        let mut refs = self.refs[i];
-        while refs != 0 {
-            let j = refs.trailing_zeros() as usize;
-            refs &= refs - 1;
-            neighbours += 1;
+        let mut rest = refs;
+        while rest != 0 {
+            let j = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
             let common = my_bitmap.overlap(self.bitmaps[j]);
             best_any = best_any.max(common);
-            if common >= self.cfg.min_common_bits && best.is_none_or(|(c, _, _)| common > c) {
-                best = Some((common, self.bitmaps[j], self.pages[j]));
+            if common as isize > best_c {
+                best_c = common as isize;
+                best_j = j;
             }
         }
+        // Similarity is a popcount of two ANDed segment bitmaps, so it is
+        // bounded by the bitmap width — no saturating narrowing needed.
+        debug_assert!(best_any <= 16, "overlap exceeds the 16-bit segment bitmap");
         tel.emit(EventKind::TlpLookup, triggered_at, ch, || EventData::TlpLookup {
             page,
             neighbours,
-            best_similarity: best_any.min(u8::MAX as usize) as u8,
+            best_similarity: best_any as u16,
         });
-        let Some((similarity, pattern, donor)) = best else {
+        if best_j == usize::MAX {
             let reason = if neighbours == 0 {
                 TransferReject::NoNeighbour
             } else {
@@ -212,7 +261,8 @@ impl ChannelTlp {
             };
             reject(tel, reason);
             return;
-        };
+        }
+        let (pattern, donor) = (self.bitmaps[best_j], self.pages[best_j]);
         let todo = pattern.minus(my_bitmap);
         if todo.is_empty() {
             reject(tel, TransferReject::NothingNew);
@@ -221,7 +271,7 @@ impl ChannelTlp {
         tel.emit(EventKind::TlpTransferAccept, triggered_at, ch, || EventData::TlpTransferAccept {
             page,
             donor,
-            similarity: similarity.min(u8::MAX as usize) as u8,
+            similarity: best_c as u16,
             issued: todo.bits(),
         });
         let page_num = PageNum::new(page);
@@ -314,8 +364,115 @@ impl Prefetcher for Tlp {
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
     use planaria_common::BlockIndex;
+
+    /// Naive Ref row: the paper's pairwise predicate, slot by slot.
+    fn pairwise_ref_row(ch: &ChannelTlp, i: usize) -> u128 {
+        let mut row = 0u128;
+        for j in 0..ch.filled {
+            if j != i && ch.pages[j].abs_diff(ch.pages[i]) <= ch.cfg.distance_threshold {
+                row |= 1u128 << j;
+            }
+        }
+        row
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The RPT against a naive model: a dense slot vector with the
+        /// same first-minimum LRU eviction, but plain linear search in
+        /// place of the open-addressed index and memos. Membership must
+        /// agree after every learn, and every slot's derived Ref row must
+        /// equal the scalar pairwise predicate.
+        #[test]
+        fn rpt_index_and_ref_rows_match_naive_model(
+            steps in proptest::collection::vec((0u64..200, 0usize..16), 1..300),
+        ) {
+            let cfg = TlpConfig { entries: 16, ..TlpConfig::default() };
+            let mut ch = ChannelTlp::new_for_segment(&cfg, 0);
+            let mut tel = Telemetry::counting_only();
+            // Model slots: (page, last). Same shape, naive operations.
+            let mut model: Vec<(u64, Cycle)> = Vec::new();
+            for (i, &(page, offset)) in steps.iter().enumerate() {
+                let now = Cycle::new((i as u64 + 1) * 10);
+                ch.learn(page, offset, now, &mut tel);
+                if let Some(e) = model.iter_mut().find(|e| e.0 == page) {
+                    e.1 = now;
+                } else if model.len() < cfg.entries {
+                    model.push((page, now));
+                } else {
+                    let v = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(_, last))| last)
+                        .map(|(s, _)| s)
+                        .expect("model is full");
+                    model[v] = (page, now);
+                }
+                prop_assert_eq!(ch.filled, model.len());
+                for (slot, &(page, _)) in model.iter().enumerate() {
+                    prop_assert_eq!(ch.pages[slot], page, "slot contents diverged");
+                    prop_assert_eq!(ch.slot_of(page), Some(slot), "index lookup diverged");
+                }
+                for slot in 0..ch.filled {
+                    let want = pairwise_ref_row(&ch, slot);
+                    prop_assert_eq!(ch.ref_row(slot), want, "derived Ref row diverged");
+                }
+            }
+        }
+
+        /// The branchless popcount donor scan against a scalar reference:
+        /// walk every other slot, apply the distance predicate, count
+        /// common bits with nested loops, keep the first strict maximum at
+        /// or above the confidence threshold. The prefetches `issue` emits
+        /// must be exactly the reference donor's unseen blocks.
+        #[test]
+        fn issue_matches_scalar_pairwise_reference(
+            steps in proptest::collection::vec((0u64..40, 0usize..16), 1..200),
+            trigger in 0u64..40,
+        ) {
+            let cfg = TlpConfig { entries: 8, ..TlpConfig::default() };
+            let mut ch = ChannelTlp::new_for_segment(&cfg, 0);
+            let mut tel = Telemetry::counting_only();
+            for (i, &(page, offset)) in steps.iter().enumerate() {
+                ch.learn(page, offset, Cycle::new((i as u64 + 1) * 10), &mut tel);
+            }
+            // Scalar reference over a snapshot of the table.
+            let mut want: Vec<usize> = Vec::new();
+            if let Some(i) = ch.pages[..ch.filled].iter().position(|&p| p == trigger) {
+                let my = ch.bitmaps[i];
+                let mut best: Option<(usize, usize)> = None; // (common, slot)
+                for j in 0..ch.filled {
+                    if j == i || ch.pages[j].abs_diff(trigger) > cfg.distance_threshold {
+                        continue;
+                    }
+                    let mut common = 0usize;
+                    for b in 0..16 {
+                        if my.get(b) && ch.bitmaps[j].get(b) {
+                            common += 1;
+                        }
+                    }
+                    if common >= cfg.min_common_bits
+                        && best.is_none_or(|(c, _)| common > c)
+                    {
+                        best = Some((common, j));
+                    }
+                }
+                if let Some((_, j)) = best {
+                    want = ch.bitmaps[j].minus(my).iter_set().collect();
+                }
+            }
+            let mut out = Vec::new();
+            ch.issue(trigger, 0, Cycle::new(1_000_000), &mut out, &mut tel);
+            let got: Vec<usize> =
+                out.iter().map(|r| r.addr.block_index().index_in_segment()).collect();
+            prop_assert_eq!(got, want, "popcount scan diverged from the scalar reference");
+        }
+    }
 
     fn access(page: u64, block: usize, cycle: u64) -> MemAccess {
         MemAccess::read(
@@ -401,6 +558,32 @@ mod tests {
             out.iter().map(|r| r.addr.block_index().as_usize()).collect();
         assert!(got.contains(&10), "pattern must come from B: {got:?}");
         assert!(!got.contains(&15), "C must lose the similarity contest: {got:?}");
+    }
+
+    #[test]
+    fn equal_similarity_ties_break_on_slot_order() {
+        // Two donors with *identical* overlap against the trigger: the
+        // winner must be the earlier-allocated RPT slot (first maximum in
+        // Ref-bit order), regardless of which donor page number is larger.
+        // Pinned because a saturating similarity cast could manufacture
+        // exactly this tie between genuinely different scores.
+        for &(first, second) in &[(100u64, 102u64), (102, 100)] {
+            let mut tlp = Tlp::default();
+            // Donors share blocks {0,2} with the upcoming trigger but
+            // differ in their tails, so the transferred pattern reveals
+            // the chosen donor.
+            let tail = |p: u64| if p == 100 { 8usize } else { 10 };
+            touch(&mut tlp, first, &[0, 2, tail(first)], 0);
+            touch(&mut tlp, second, &[0, 2, tail(second)], 500);
+            let out = touch(&mut tlp, 101, &[0, 2], 1000);
+            let got: std::collections::BTreeSet<usize> =
+                out.iter().map(|r| r.addr.block_index().as_usize()).collect();
+            let want_tail = tail(first);
+            assert!(
+                got.contains(&want_tail),
+                "first-allocated donor {first} must win the tie: {got:?}"
+            );
+        }
     }
 
     #[test]

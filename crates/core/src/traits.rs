@@ -27,6 +27,22 @@ pub trait Prefetcher {
     /// only on these triggers; baselines may ignore the flag.)
     fn on_access(&mut self, access: &MemAccess, hit: bool, out: &mut Vec<PrefetchRequest>);
 
+    /// Observes a chunk of demand accesses whose hit outcomes are already
+    /// known, appending all generated prefetches to `out` in access order.
+    ///
+    /// MUST behave exactly like calling [`Prefetcher::on_access`] once per
+    /// element — callers use it purely to amortise per-access dispatch
+    /// overhead (one virtual call per chunk instead of per access), never
+    /// to change semantics. Only drivers that replay a pre-resolved stream
+    /// (trace replay, microbenchmarks) can use it; a full memory system
+    /// cannot, because each access's prefetches feed back into the next
+    /// access's hit outcome.
+    fn on_batch(&mut self, batch: &[(MemAccess, bool)], out: &mut Vec<PrefetchRequest>) {
+        for (access, hit) in batch {
+            self.on_access(access, *hit, out);
+        }
+    }
+
     /// Metadata storage cost in bits (for the paper's 345.2 KB accounting).
     fn storage_bits(&self) -> u64;
 

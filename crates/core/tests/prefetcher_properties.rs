@@ -110,6 +110,40 @@ proptest! {
     }
 
     #[test]
+    fn batched_dispatch_is_bit_identical_to_single(steps in proptest::collection::vec(arb_step(), 1..300)) {
+        // The contract on `Prefetcher::on_batch`: replaying a pre-resolved
+        // chunk must produce exactly the per-access request stream, in
+        // order — for the default forwarding impl (Slp, Tlp) and for
+        // Planaria's overridden chunk loop alike.
+        let batch: Vec<(MemAccess, bool)> = {
+            let mut t = 0u64;
+            steps.iter().map(|s| {
+                t += s.gap;
+                let addr = PhysAddr::from_parts(PageNum::new(s.page), BlockIndex::new(s.block));
+                (MemAccess::read(addr, Cycle::new(t)), s.hit)
+            }).collect()
+        };
+        let singles: [Box<dyn Prefetcher>; 3] =
+            [Box::new(Planaria::default()), Box::new(Slp::default()), Box::new(Tlp::default())];
+        let batched: [Box<dyn Prefetcher>; 3] =
+            [Box::new(Planaria::default()), Box::new(Slp::default()), Box::new(Tlp::default())];
+        for (mut single, mut chunked) in singles.into_iter().zip(batched) {
+            let mut want = Vec::new();
+            for (access, hit) in &batch {
+                single.on_access(access, *hit, &mut want);
+            }
+            let mut got = Vec::new();
+            chunked.on_batch(&batch, &mut got);
+            prop_assert_eq!(&got, &want, "{} batched run diverged", chunked.name());
+            prop_assert_eq!(
+                chunked.table_accesses(),
+                single.table_accesses(),
+                "metadata traffic diverged"
+            );
+        }
+    }
+
+    #[test]
     fn storage_is_config_independent_of_traffic(steps in proptest::collection::vec(arb_step(), 1..100)) {
         let mut pf = Planaria::new(PlanariaConfig {
             slp: SlpConfig::default(),

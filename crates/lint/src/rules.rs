@@ -100,7 +100,8 @@ pub const RULES: [RuleInfo; 8] = [
     RuleInfo {
         id: "R1",
         name: "hot-path-hasher",
-        summary: "hot-path crates must use planaria_hash maps, not default-hasher HashMap/HashSet",
+        summary: "hot-path crates must use planaria_hash containers (FastHashMap/FastHashSet/\
+                  FixedIndex), not default-hasher HashMap/HashSet",
     },
     RuleInfo {
         id: "R2",
@@ -445,7 +446,8 @@ fn rule_hot_path_hasher(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
                 t.line,
                 format!(
                     "std::collections::{} uses the seeded SipHash default; hot-path crates must \
-                     use planaria_hash::Fast{} (deterministic FxHash)",
+                     use planaria_hash::Fast{} (deterministic FxHash) — or, on per-access lookup \
+                     paths with a fixed entry budget, planaria_hash::FixedIndex",
                     t.text, t.text
                 ),
             );
@@ -807,6 +809,22 @@ mod tests {
         assert_eq!(rules_fired("crates/cache/src/x.rs", src), ["R1"]);
         // Same file in a non-hot crate: only the import rule is clean too.
         assert!(rules_fired("crates/telemetry/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn approved_hot_path_containers_do_not_fire() {
+        // The planaria_hash containers are the sanctioned replacements:
+        // FastHashMap/FastHashSet for general maps, FixedIndex for the
+        // fixed-capacity open-addressed page→slot tables on the SLP/TLP
+        // per-access paths. None of them may trip R1 in a hot crate.
+        let src = "
+            use planaria_hash::{FastHashMap, FastHashSet, FixedIndex};
+            pub fn f() -> (FastHashMap<u64, u64>, FastHashSet<u64>, FixedIndex) {
+                (FastHashMap::default(), FastHashSet::default(), FixedIndex::with_capacity(128))
+            }
+        ";
+        assert!(rules_fired("crates/core/src/x.rs", src).is_empty());
+        assert!(rules_fired("crates/sim/src/x.rs", src).is_empty());
     }
 
     #[test]

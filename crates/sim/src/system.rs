@@ -336,24 +336,31 @@ impl MemorySystem {
         self.cfg.sc_hit_latency
     }
 
+    /// [`MemorySystem::pump_dram`] with the completion buffer supplied by
+    /// the caller, so batch processing moves it out of `self` once per
+    /// chunk instead of once per access.
+    fn pump_dram_into(&mut self, now: Cycle, buf: &mut Vec<Completion>) {
+        self.dram.advance_to(now, buf);
+        for c in buf.drain(..) {
+            self.handle_completion(c);
+        }
+    }
+
     fn pump_dram(&mut self, now: Cycle) {
         // The buffer is moved out of `self` for the duration of the loop so
         // `handle_completion(&mut self)` can run; it is handed back (still
         // holding its capacity) afterwards, so steady state never allocates.
         let mut buf = std::mem::take(&mut self.completions);
-        self.dram.advance_to(now, &mut buf);
-        for c in buf.drain(..) {
-            self.handle_completion(c);
-        }
+        self.pump_dram_into(now, &mut buf);
         self.completions = buf;
     }
 
     /// Forces queue room for a must-issue request by servicing the DRAM
     /// forward in bounded steps (models controller backpressure).
-    fn make_room(&mut self, addr: PhysAddr, mut now: Cycle) -> Cycle {
+    fn make_room(&mut self, addr: PhysAddr, mut now: Cycle, buf: &mut Vec<Completion>) -> Cycle {
         while !self.dram.has_room_for(addr) {
             now += 500;
-            self.pump_dram(now);
+            self.pump_dram_into(now, buf);
         }
         now
     }
@@ -373,17 +380,51 @@ impl MemorySystem {
         let _ = self.process_tracked(access);
     }
 
+    /// Feeds a chunk of demand accesses through the system.
+    ///
+    /// Behaviourally identical to calling [`MemorySystem::process`] per
+    /// access — the per-access feedback loop (prefetches fill the cache and
+    /// change later hit/miss outcomes) rules out any coarser dispatch — but
+    /// the reusable completion/scratch buffers move out of `self` once per
+    /// chunk instead of once per access, so the per-access overhead is
+    /// amortised across the batch.
+    pub fn process_batch(&mut self, batch: &[MemAccess]) {
+        let mut buf = std::mem::take(&mut self.completions);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for access in batch {
+            self.step_access(access, &mut buf, &mut scratch);
+        }
+        self.completions = buf;
+        self.scratch = scratch;
+    }
+
     /// [`MemorySystem::process`], additionally reporting whether the access
     /// hit in the SC (`true`) or must wait on a DRAM fill (`false`). The
     /// closed-loop traffic model needs the distinction to decide when the
     /// requestor's window slot frees.
     pub(crate) fn process_tracked(&mut self, access: &MemAccess) -> bool {
+        let mut buf = std::mem::take(&mut self.completions);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let was_hit = self.step_access(access, &mut buf, &mut scratch);
+        self.completions = buf;
+        self.scratch = scratch;
+        was_hit
+    }
+
+    /// One demand access against caller-held scratch buffers (the batched
+    /// dispatch hoists the buffer handoff out of the access loop).
+    fn step_access(
+        &mut self,
+        access: &MemAccess,
+        buf: &mut Vec<Completion>,
+        scratch: &mut Vec<PrefetchRequest>,
+    ) -> bool {
         let now = access.cycle;
         let device = access.device;
         let dev_idx = device.index() as u8;
         self.first_cycle.get_or_insert(now);
         self.last_cycle = self.last_cycle.max(now);
-        self.pump_dram(now);
+        self.pump_dram_into(now, buf);
         self.demand_count += 1;
 
         let block_addr = access.addr.block_base();
@@ -427,7 +468,7 @@ impl MemorySystem {
                 } else {
                     // A queued-but-unissued prefetch is superseded.
                     self.queue.cancel(block_addr);
-                    let now = self.make_room(block_addr, now);
+                    let now = self.make_room(block_addr, now, buf);
                     self.dram
                         .try_enqueue(block_addr, false, Priority::Demand, now)
                         .expect("room was made");
@@ -447,9 +488,8 @@ impl MemorySystem {
         // Prefetcher: learning on every access, issuing per its own rules.
         // (Learning always runs; the governor only gates the requests.)
         let gated = self.governor_tick();
-        self.scratch.clear();
-        let mut scratch = std::mem::take(&mut self.scratch);
-        self.prefetcher.on_access(access, covered_hit, &mut scratch);
+        scratch.clear();
+        self.prefetcher.on_access(access, covered_hit, scratch);
         // Prefetches are attributed to the device whose demand triggered
         // them, regardless of which sub-prefetcher produced the request.
         for req in scratch.iter_mut() {
@@ -485,7 +525,6 @@ impl MemorySystem {
             }
             self.queue.push(req);
         }
-        self.scratch = scratch;
 
         // Drain staged prefetches into whatever channel room exists.
         while let Some(req) = self.next_issuable() {
@@ -621,15 +660,26 @@ impl MemorySystem {
         mut observe: Option<&mut dyn FnMut(usize, f64)>,
     ) -> (SimResult, planaria_dram::DramStats, TelemetryReport) {
         assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
-        let skip = (trace.len() as f64 * warmup) as usize;
-        for (i, a) in trace.iter().enumerate() {
-            if i == skip && skip > 0 {
+        let accesses = trace.accesses();
+        let skip = (accesses.len() as f64 * warmup) as usize;
+        // Dispatch in chunks bounded by the warmup boundary and the
+        // observation interval — the only two places the loop must stop —
+        // so everything in between runs through the batched path.
+        let mut done = 0usize;
+        while done < accesses.len() {
+            if done == skip && skip > 0 {
                 self.reset_metrics();
             }
-            self.process(a);
+            let mut end = accesses.len();
+            if done < skip {
+                end = end.min(skip);
+            }
+            end = end.min((done / every).saturating_add(1).saturating_mul(every));
+            self.process_batch(&accesses[done..end]);
+            done = end;
             if let Some(cb) = observe.as_deref_mut() {
-                if (i + 1) % every == 0 {
-                    cb(i + 1, self.interim_hit_rate());
+                if done.is_multiple_of(every) {
+                    cb(done, self.interim_hit_rate());
                 }
             }
         }

@@ -239,8 +239,10 @@ pub enum EventData {
         page: u64,
         /// Ref-flagged neighbours scanned.
         neighbours: u8,
-        /// Best shared-set-bit count found (0 when no neighbour).
-        best_similarity: u8,
+        /// Best shared-set-bit count found (0 when no neighbour). Bounded
+        /// by the 16-bit segment bitmaps today; `u16` so wider footprint
+        /// bitmaps never silently saturate the score.
+        best_similarity: u16,
     },
     /// A neighbour's pattern was transferred.
     TlpTransferAccept {
@@ -248,8 +250,10 @@ pub enum EventData {
         page: u64,
         /// The donating neighbour's page number.
         donor: u64,
-        /// Shared set bits between trigger and donor bitmaps.
-        similarity: u8,
+        /// Shared set bits between trigger and donor bitmaps. Bounded by
+        /// the 16-bit segment bitmaps today; `u16` so wider footprint
+        /// bitmaps never silently saturate the score.
+        similarity: u16,
         /// Blocks requested on the trigger page.
         issued: u16,
     },

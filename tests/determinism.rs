@@ -37,6 +37,28 @@ fn results_are_hasher_independent() {
 }
 
 #[test]
+fn thread_count_does_not_change_results() {
+    use planaria_sim::runner::{Job, Runner};
+    // The rewritten hot path (SoA tables, derived Ref rows, batched
+    // dispatch) must stay bit-identical whether the grid runs serially or
+    // fanned out over workers: every SimResult field, including the f64
+    // bit patterns inside, compares equal across thread counts.
+    let jobs = || -> Vec<Job> {
+        [AppId::Cfm, AppId::HoK, AppId::Fort]
+            .iter()
+            .flat_map(|&app| {
+                [PrefetcherKind::Planaria, PrefetcherKind::Bop, PrefetcherKind::Spp]
+                    .iter()
+                    .map(move |&kind| Job::grid_cell(app, kind, 15_000))
+            })
+            .collect()
+    };
+    let serial = Runner::new(1).run(jobs()).into_results();
+    let fanned = Runner::new(8).run(jobs()).into_results();
+    assert_eq!(serial, fanned, "results must not depend on worker thread count");
+}
+
+#[test]
 fn closed_loop_simulation_is_deterministic() {
     use planaria_sim::{MemorySystem, SystemConfig, TrafficConfig, TrafficModel};
     let run = || {

@@ -256,6 +256,202 @@ pub fn map_with_capacity<K, V>(capacity: usize) -> FastHashMap<K, V> {
     FastHashMap::with_capacity_and_hasher(capacity, SelectableBuildHasher::default())
 }
 
+/// Sentinel marking an empty [`FixedIndex`] bucket. Never a legal key:
+/// the simulator's keys are page/block numbers derived from physical
+/// addresses shifted right by at least 6 bits, so `u64::MAX` cannot occur.
+const FIXED_INDEX_EMPTY: u64 = u64::MAX;
+
+/// A fixed-capacity open-addressed `u64 → u32` index for hot-path tables.
+///
+/// The simulator's hardware tables (SLP FT/AT/PT, the TLP RPT) are
+/// fixed-capacity by construction: entries live in dense struct-of-arrays
+/// slots and only the *page → slot* association needs a hash lookup. A
+/// general-purpose `HashMap` pays for growth logic, tombstone-free SIMD
+/// group scans and 16-byte-aligned control metadata that a table with a
+/// hard capacity bound never needs. `FixedIndex` instead allocates
+/// `2 × capacity` buckets once (load factor ≤ 50 %), probes linearly and
+/// deletes with backward shifting, so lookups on the per-access path are
+/// one multiply-rotate hash plus a short linear scan over a flat array.
+///
+/// Determinism contract: like [`FastHashMap`], the index captures the
+/// [global hasher kind](set_global_hasher) at construction, so the
+/// determinism suite can prove that no simulation result depends on probe
+/// order. Callers must therefore never let bucket order reach a decision —
+/// `FixedIndex` deliberately exposes no iteration.
+///
+/// # Examples
+///
+/// ```
+/// use planaria_hash::FixedIndex;
+///
+/// let mut idx = FixedIndex::with_capacity(4);
+/// idx.insert(0x42, 7);
+/// assert_eq!(idx.get(0x42), Some(7));
+/// assert_eq!(idx.remove(0x42), Some(7));
+/// assert_eq!(idx.get(0x42), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedIndex {
+    /// Interleaved buckets: key plus dense-table slot number. One bucket
+    /// spans one cache line's worth of both, so a hit costs a single
+    /// memory touch (split key/slot arrays cost two on large tables).
+    /// `FIXED_INDEX_EMPTY` keys mark free buckets.
+    buckets: Vec<Bucket>,
+    /// `buckets − 1`; bucket count is a power of two.
+    mask: usize,
+    /// Right-shift mapping a 64-bit hash onto the bucket range (top bits —
+    /// the FxHash multiply concentrates entropy there).
+    shift: u32,
+    hasher: SelectableBuildHasher,
+    len: usize,
+}
+
+/// One [`FixedIndex`] bucket: a key and its dense-table slot, co-located
+/// so a probe touches one line.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    key: u64,
+    slot: u32,
+}
+
+const EMPTY_BUCKET: Bucket = Bucket { key: FIXED_INDEX_EMPTY, slot: 0 };
+
+impl FixedIndex {
+    /// An index able to hold `capacity` keys at ≤ 80 % load.
+    ///
+    /// The sizing favours a small resident footprint over short probe
+    /// chains: the tables sized by this index are probed against cold
+    /// caches (the simulated SC and DRAM structures evict them between
+    /// touches), where the array's line footprint costs more than an
+    /// extra probe along one already-fetched line of four buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "FixedIndex capacity must be positive");
+        let buckets = (capacity + capacity / 4 + 1).next_power_of_two().max(8);
+        Self {
+            buckets: vec![EMPTY_BUCKET; buckets],
+            mask: buckets - 1,
+            shift: 64 - buckets.trailing_zeros(),
+            hasher: SelectableBuildHasher::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        let mut h = self.hasher.build_hasher();
+        h.write_u64(key);
+        (h.finish() >> self.shift) as usize
+    }
+
+    /// The slot stored for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        debug_assert_ne!(key, FIXED_INDEX_EMPTY, "sentinel key");
+        let mut b = self.bucket_of(key);
+        loop {
+            let e = self.buckets[b];
+            if e.key == key {
+                return Some(e.slot);
+            }
+            if e.key == FIXED_INDEX_EMPTY {
+                return None;
+            }
+            b = (b + 1) & self.mask;
+        }
+    }
+
+    /// Maps `key` to `slot`, overwriting any previous mapping; returns the
+    /// replaced slot if the key was already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the fill would exceed the construction
+    /// capacity's 50 % load bound — fixed-capacity callers evict before
+    /// inserting, so this indicates a table-logic bug.
+    #[inline]
+    pub fn insert(&mut self, key: u64, slot: u32) -> Option<u32> {
+        debug_assert_ne!(key, FIXED_INDEX_EMPTY, "sentinel key");
+        let mut b = self.bucket_of(key);
+        loop {
+            let e = self.buckets[b];
+            if e.key == key {
+                self.buckets[b].slot = slot;
+                return Some(e.slot);
+            }
+            if e.key == FIXED_INDEX_EMPTY {
+                debug_assert!(
+                    self.len < self.buckets.len() - 1,
+                    "FixedIndex overfilled: capacity bound violated"
+                );
+                self.buckets[b] = Bucket { key, slot };
+                self.len += 1;
+                return None;
+            }
+            b = (b + 1) & self.mask;
+        }
+    }
+
+    /// Removes `key`, returning its slot if it was present. Uses backward
+    /// shifting, so no tombstones accumulate and probe chains stay short.
+    pub fn remove(&mut self, key: u64) -> Option<u32> {
+        debug_assert_ne!(key, FIXED_INDEX_EMPTY, "sentinel key");
+        let mut b = self.bucket_of(key);
+        loop {
+            let k = self.buckets[b].key;
+            if k == FIXED_INDEX_EMPTY {
+                return None;
+            }
+            if k == key {
+                break;
+            }
+            b = (b + 1) & self.mask;
+        }
+        let removed = self.buckets[b].slot;
+        // Backward-shift deletion: pull every displaced follower of the
+        // probe chain one step toward its home bucket until a hole (or an
+        // entry already at home) ends the chain.
+        let mut hole = b;
+        let mut probe = b;
+        loop {
+            probe = (probe + 1) & self.mask;
+            let e = self.buckets[probe];
+            if e.key == FIXED_INDEX_EMPTY {
+                break;
+            }
+            let home = self.bucket_of(e.key);
+            // Move `probe`'s entry into the hole iff its home bucket does
+            // not lie cyclically within (hole, probe] — otherwise the move
+            // would place it before its home and break future lookups.
+            let movable = if hole <= probe {
+                home <= hole || home > probe
+            } else {
+                home <= hole && home > probe
+            };
+            if movable {
+                self.buckets[hole] = e;
+                hole = probe;
+            }
+        }
+        self.buckets[hole] = EMPTY_BUCKET;
+        self.len -= 1;
+        Some(removed)
+    }
+}
+
 /// A [`FastHashSet`] pre-sized for `capacity` entries.
 pub fn set_with_capacity<T>(capacity: usize) -> FastHashSet<T> {
     FastHashSet::with_capacity_and_hasher(capacity, SelectableBuildHasher::default())
@@ -320,6 +516,69 @@ mod tests {
         set_global_hasher(HasherKind::Fx);
         assert_eq!(before.kind, global_hasher());
         assert_eq!(during.kind, HasherKind::Std);
+    }
+
+    #[test]
+    fn fixed_index_basic_ops() {
+        let mut idx = FixedIndex::with_capacity(8);
+        assert!(idx.is_empty());
+        assert_eq!(idx.insert(100, 0), None);
+        assert_eq!(idx.insert(200, 1), None);
+        assert_eq!(idx.insert(100, 2), Some(0), "reinsert overwrites");
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(100), Some(2));
+        assert_eq!(idx.get(300), None);
+        assert_eq!(idx.remove(100), Some(2));
+        assert_eq!(idx.remove(100), None);
+        assert_eq!(idx.get(200), Some(1));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn fixed_index_backward_shift_keeps_chains_probeable() {
+        // Force a dense cluster, then delete from the middle of the chain
+        // and verify every survivor is still reachable — the failure mode
+        // backward shifting exists to prevent.
+        let mut idx = FixedIndex::with_capacity(64);
+        let keys: Vec<u64> = (0..64).map(|i| i * 4096).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            idx.insert(k, i as u32);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(idx.remove(k), Some(i as u32));
+            }
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            let want = if i % 3 == 0 { None } else { Some(i as u32) };
+            assert_eq!(idx.get(k), want, "key {k} after interleaved removals");
+        }
+    }
+
+    #[test]
+    fn fixed_index_matches_hashmap_model_under_random_churn() {
+        // Deterministic pseudo-random insert/remove/lookup churn checked
+        // against std's HashMap, under both hasher kinds (probe order must
+        // never leak into results).
+        for kind in [HasherKind::Fx, HasherKind::Std] {
+            set_global_hasher(kind);
+            let mut idx = FixedIndex::with_capacity(128);
+            set_global_hasher(HasherKind::Fx);
+            let mut model: HashMap<u64, u32> = HashMap::new();
+            let mut state = 0x243F_6A88_85A3_08D3u64; // deterministic LCG
+            for step in 0..20_000u32 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let key = (state >> 33) % 192; // collide often
+                match state % 3 {
+                    0 if model.len() < 128 => {
+                        assert_eq!(idx.insert(key, step), model.insert(key, step), "{kind:?}");
+                    }
+                    1 => assert_eq!(idx.remove(key), model.remove(&key), "{kind:?}"),
+                    _ => assert_eq!(idx.get(key), model.get(&key).copied(), "{kind:?}"),
+                }
+                assert_eq!(idx.len(), model.len(), "{kind:?}");
+            }
+        }
     }
 
     #[test]
