@@ -41,6 +41,18 @@ if [[ "${1:-}" != "fast" ]]; then
     cargo run --release -q -p planaria-bench --bin contention -- \
         --len 4000 --apps hok --windows 2,8 --out target/contention_ci.json
     cargo run --release -q -p planaria-bench --bin contention -- --check target/contention_ci.json
+
+    step "streamed replay (pack 10M accesses, replay from disk, check fingerprints)"
+    # Exercises the full on-disk path at a size where materializing would
+    # cost ~180 MB but the streamed replay stays flat: record a packed
+    # planaria-trace-v1 file with trace_pack, replay it through the
+    # streamed engine, and gate on the emitted fingerprint document.
+    cargo run --release -q -p planaria-trace --bin trace_pack -- \
+        record --app HoK --len 10000000 --out target/ci_hok10m.ptrace
+    cargo run --release -q -p planaria-bench --bin perf_baseline -- \
+        --stream --trace target/ci_hok10m.ptrace --out target/ci_stream.json
+    cargo run --release -q -p planaria-bench --bin perf_baseline -- --check target/ci_stream.json
+    rm -f target/ci_hok10m.ptrace
 fi
 
 step "planaria-lint --check (determinism / hot-path / API-hygiene invariants)"

@@ -36,6 +36,30 @@ fn shipped_workspace_is_lint_clean_with_an_empty_baseline() {
 }
 
 #[test]
+fn streaming_trace_modules_lint_clean_under_the_workspace_config() {
+    // The streaming engine additions (pull-based streams, the chunked
+    // planaria-trace-v1 codec, and the trace_pack bin) must classify and
+    // lint like any other workspace source: R4 only fires on crate roots
+    // (none of these are), and R8 accepts their imports because every
+    // named crate is a workspace member. A misclassification would
+    // silently exempt the new module from the gate, so pin it here.
+    use planaria_lint::rules::{lint_source, FileMeta};
+    let root = repo_root();
+    let config = workspace_config(&root).expect("config builds");
+    for rel in [
+        "crates/trace/src/stream.rs",
+        "crates/trace/src/io.rs",
+        "crates/trace/src/bin/trace_pack.rs",
+    ] {
+        let meta = FileMeta::for_path(rel).expect("streaming sources classify");
+        assert!(!meta.is_crate_root, "{rel} must not be treated as a crate root");
+        let source = std::fs::read_to_string(root.join(rel)).expect("streaming source readable");
+        let vs = lint_source(&meta, &source, &config);
+        assert!(vs.is_empty(), "{rel} must lint clean: {vs:?}");
+    }
+}
+
+#[test]
 fn workspace_config_learns_member_crate_idents() {
     let config = workspace_config(&repo_root()).expect("config builds");
     for ident in ["planaria_common", "planaria_hash", "planaria_lint", "serde", "rand"] {

@@ -55,8 +55,8 @@ mod traffic;
 
 pub use experiment::PrefetcherKind;
 pub use metrics::{DeviceStat, SimResult, TrafficBreakdown};
-pub use runner::{Cell, Job, ProgressEvent, RunReport, Runner, TraceSource};
-pub use system::{GovernorConfig, MemorySystem, SystemConfig};
+pub use runner::{Cell, Job, ProgressEvent, RunReport, Runner, StreamFactory, TraceSource};
+pub use system::{GovernorConfig, MemorySystem, SystemConfig, STREAM_CHUNK};
 pub use traffic::{ClosedLoopReport, DeviceOutcome, TrafficConfig, TrafficModel};
 
 // Observability layer: re-exported so simulator users can configure

@@ -148,6 +148,52 @@ impl SimResult {
         )
     }
 
+    /// Order-stable FNV-1a digest over every field of the record, with
+    /// floats hashed by exact bit pattern.
+    ///
+    /// Two results fingerprint equal iff they are bit-identical, so this
+    /// is the cheap currency for cross-run equivalence checks — e.g.
+    /// `perf_baseline --stream` pins the streamed engine against the
+    /// materialized one by comparing fingerprints, and `ci.sh` replays a
+    /// packed trace and `--check`s the recorded value.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        // Strings are length-prefixed so field boundaries stay unambiguous.
+        h.str(&self.workload);
+        h.str(&self.prefetcher);
+        h.u64(self.accesses);
+        h.f64(self.hit_rate);
+        h.f64(self.amat_cycles);
+        h.u64(self.traffic.demand_reads);
+        h.u64(self.traffic.prefetch_reads);
+        h.u64(self.traffic.writebacks);
+        h.u64(self.useful_prefetches);
+        h.u64(self.useful_slp);
+        h.u64(self.useful_tlp);
+        h.u64(self.late_prefetches);
+        h.u64(self.polluting_prefetches);
+        h.f64(self.prefetch_accuracy);
+        h.f64(self.prefetch_coverage);
+        h.u64(self.prefetches_filtered);
+        h.u64(self.writebacks_dropped);
+        h.u64(self.duration_cycles);
+        h.f64(self.dram_energy_pj);
+        h.f64(self.sc_energy_pj);
+        h.f64(self.prefetcher_energy_pj);
+        h.f64(self.total_energy_pj);
+        h.f64(self.power_mw);
+        h.f64(self.dram_row_hit_rate);
+        h.u64(self.storage_bits);
+        h.u64(self.device_stats.len() as u64);
+        for d in &self.device_stats {
+            h.str(&d.device);
+            h.u64(d.accesses);
+            h.u64(d.hits);
+            h.f64(d.amat_cycles);
+        }
+        h.0
+    }
+
     /// AMAT change versus a baseline run; negative is better
     /// (e.g. `-0.243` reproduces "reduced AMAT by 24.3%").
     pub fn amat_delta(&self, baseline: &SimResult) -> f64 {
@@ -168,6 +214,34 @@ impl SimResult {
     /// Traffic change versus a baseline run; positive is extra traffic.
     pub fn traffic_delta(&self, baseline: &SimResult) -> f64 {
         self.traffic.relative_to(&baseline.traffic) - 1.0
+    }
+}
+
+/// Incremental 64-bit FNV-1a (see [`SimResult::fingerprint`]).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
     }
 }
 
@@ -255,6 +329,26 @@ mod tests {
         let row_cols = r.csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
         assert!(r.csv_row().starts_with("t,x,100,"));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let a = result(10.0, 5.0, 100);
+        assert_eq!(a.fingerprint(), a.fingerprint(), "digest must be deterministic");
+        let mut float_tweak = a.clone();
+        float_tweak.hit_rate = f64::from_bits(float_tweak.hit_rate.to_bits() ^ 1);
+        assert_ne!(a.fingerprint(), float_tweak.fingerprint(), "1-ulp float change must show");
+        let mut label_tweak = a.clone();
+        label_tweak.workload = "u".into();
+        assert_ne!(a.fingerprint(), label_tweak.fingerprint());
+        let mut device_tweak = a.clone();
+        device_tweak.device_stats.push(DeviceStat {
+            device: "gpu".into(),
+            accesses: 1,
+            hits: 1,
+            amat_cycles: 30.0,
+        });
+        assert_ne!(a.fingerprint(), device_tweak.fingerprint());
     }
 
     #[test]

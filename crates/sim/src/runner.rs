@@ -29,16 +29,25 @@ use planaria_hash::FastHashMap;
 use planaria_core::Prefetcher;
 use planaria_telemetry::TelemetryReport;
 use planaria_trace::apps::{self, AppId};
-use planaria_trace::Trace;
+use planaria_trace::stream::AccessStream;
+use planaria_trace::{Trace, WorkloadSpec};
 
 use crate::traffic::{ClosedLoopReport, TrafficConfig, TrafficModel};
 use crate::{MemorySystem, PrefetcherKind, SimResult, SystemConfig};
+
+/// Builds a fresh, single-use [`AccessStream`] for one cell. Streams are
+/// consumed by the run, so every cell gets its own instance from the
+/// factory (e.g. one `ChunkedTraceReader` per cell over the same packed
+/// file).
+pub type StreamFactory = Arc<dyn Fn() -> Box<dyn AccessStream + Send> + Send + Sync>;
 
 /// Where a job's input trace comes from.
 #[derive(Clone)]
 pub enum TraceSource {
     /// Synthesise the Table 2 app at `length` accesses. Traces are cached
-    /// per `(app, length)` across the batch and built exactly once.
+    /// per `(app, length)` across the batch and built exactly once —
+    /// unless the job is [`Job::streamed`], in which case the workload
+    /// renders chunk-at-a-time and nothing is materialized.
     App {
         /// The application to synthesise.
         app: AppId,
@@ -47,6 +56,9 @@ pub enum TraceSource {
     },
     /// A caller-prepared trace, shared by reference.
     Shared(Arc<Trace>),
+    /// A factory of access streams; the cell runs through the streamed
+    /// engine path in flat memory (implies [`Job::streamed`]).
+    Stream(StreamFactory),
 }
 
 /// Builds a fresh prefetcher instance inside a worker thread.
@@ -65,6 +77,8 @@ pub struct Job {
     /// `Some` switches the cell to closed-loop injection via
     /// [`TrafficModel`]; `None` (the default) replays open-loop.
     pub traffic: Option<TrafficConfig>,
+    /// Run through the streamed engine path ([`Job::streamed`]).
+    pub stream: bool,
     factory: PrefetcherFactory,
 }
 
@@ -96,8 +110,20 @@ impl Job {
             config: SystemConfig::default(),
             warmup: 0.0,
             traffic: None,
+            stream: false,
             factory,
         }
+    }
+
+    /// Switches the cell to the streamed engine path: an
+    /// [`TraceSource::App`] source renders its workload chunk-at-a-time
+    /// instead of materializing a trace, a [`TraceSource::Shared`] trace
+    /// replays through its stream adapter. Results are bit-identical to
+    /// the materialized path (`tests/streaming.rs` pins this); only the
+    /// memory profile changes.
+    pub fn streamed(mut self) -> Self {
+        self.stream = true;
+        self
     }
 
     /// Replaces the system configuration.
@@ -142,7 +168,8 @@ pub struct ProgressEvent<'a> {
     pub label: &'a str,
     /// Accesses simulated so far in this cell.
     pub done: usize,
-    /// Total accesses in this cell's trace.
+    /// Total accesses in this cell's trace (`usize::MAX` when a streamed
+    /// source does not know its length up front).
     pub trace_len: usize,
     /// Cumulative SC demand hit rate so far
     /// ([`MemorySystem::interim_hit_rate`]).
@@ -151,34 +178,60 @@ pub struct ProgressEvent<'a> {
 
 type ProgressFn = Arc<dyn Fn(ProgressEvent<'_>) + Send + Sync>;
 
-/// Builds each distinct `(app, length)` trace exactly once for the batch.
+/// Resolves each distinct `(app, length)` workload once for the batch.
 ///
-/// The outer mutex only guards slot lookup; the (expensive) synthesis runs
-/// outside it under the slot's own `OnceLock`, so two workers needing
+/// Every entry holds the workload *spec* — the stream factory — plus a
+/// lazily-materialized shared trace. Streamed jobs only touch the spec,
+/// so an all-streamed batch never materializes anything; materialized
+/// jobs build the trace exactly once, under the entry's own `OnceLock`
+/// (the outer mutex only guards slot lookup, so two workers needing
 /// *different* traces build concurrently while two needing the *same*
-/// trace share one build.
+/// trace share one build).
 struct TraceCache {
-    slots: Mutex<FastHashMap<(AppId, usize), TraceSlot>>,
+    slots: Mutex<FastHashMap<(AppId, usize), Arc<CacheEntry>>>,
     builds: AtomicUsize,
 }
 
-/// A lazily-built shared trace; cloned out of the cache map so synthesis
-/// runs without holding the map lock.
-type TraceSlot = Arc<OnceLock<Arc<Trace>>>;
+/// One cached workload: the deterministic spec plus its lazily-built
+/// materialization.
+struct CacheEntry {
+    spec: WorkloadSpec,
+    materialized: OnceLock<Arc<Trace>>,
+}
 
 impl TraceCache {
     fn new() -> Self {
         Self { slots: Mutex::new(FastHashMap::default()), builds: AtomicUsize::new(0) }
     }
 
+    fn entry(&self, app: AppId, length: usize) -> Arc<CacheEntry> {
+        self.slots
+            .lock()
+            .expect("trace-cache lock")
+            .entry((app, length))
+            .or_insert_with(|| {
+                Arc::new(CacheEntry {
+                    spec: apps::profile(app).scaled(length),
+                    materialized: OnceLock::new(),
+                })
+            })
+            .clone()
+    }
+
     fn get(&self, app: AppId, length: usize) -> Arc<Trace> {
-        let slot =
-            self.slots.lock().expect("trace-cache lock").entry((app, length)).or_default().clone();
-        slot.get_or_init(|| {
-            self.builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(apps::profile(app).scaled(length).build())
-        })
-        .clone()
+        let entry = self.entry(app, length);
+        entry
+            .materialized
+            .get_or_init(|| {
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(entry.spec.build())
+            })
+            .clone()
+    }
+
+    /// A fresh rendering stream for the workload; never materializes.
+    fn stream(&self, app: AppId, length: usize) -> impl AccessStream + Send + use<> {
+        self.entry(app, length).spec.stream()
     }
 }
 
@@ -383,38 +436,84 @@ impl Runner {
             }
             let job = &jobs[i];
             let t0 = Instant::now();
-            let trace = match &job.source {
-                TraceSource::App { app, length } => cache.get(*app, *length),
-                TraceSource::Shared(t) => Arc::clone(t),
+            // Resolve the input: a shared materialized trace, or an owned
+            // single-use stream for streamed cells. Either way the engine
+            // runs the same streamed core, so the split only affects the
+            // memory profile.
+            enum Input<'s> {
+                Trace(Arc<Trace>),
+                Stream(Box<dyn AccessStream + 's>),
+            }
+            let input = match &job.source {
+                TraceSource::App { app, length } if job.stream => {
+                    Input::Stream(Box::new(cache.stream(*app, *length)))
+                }
+                TraceSource::App { app, length } => Input::Trace(cache.get(*app, *length)),
+                TraceSource::Shared(t) if job.stream => Input::Stream(Box::new(t.stream())),
+                TraceSource::Shared(t) => Input::Trace(Arc::clone(t)),
+                TraceSource::Stream(f) => Input::Stream(f()),
             };
             let sys = MemorySystem::new(job.config, (job.factory)());
-            let (result, telemetry, closed_loop) = if let Some(traffic) = job.traffic {
+            let (result, telemetry, closed_loop) = match (job.traffic, input) {
                 // Closed-loop cells derive their own injection schedule;
                 // warmup is rejected at Job construction and progress
                 // sampling does not apply.
-                let (result, closed, telemetry) =
-                    TrafficModel::new(traffic).run_telemetry(sys, &trace);
-                (result, telemetry, Some(closed))
-            } else {
-                let (result, _, telemetry) = match &self.progress {
-                    Some(cb) => sys.run_core(
-                        &trace,
-                        job.warmup,
-                        self.progress_every,
-                        Some(&mut |done, hit_rate| {
-                            cb(ProgressEvent {
-                                job: i,
-                                total,
-                                label: &job.label,
-                                done,
-                                trace_len: trace.len(),
-                                hit_rate,
-                            })
-                        }),
-                    ),
-                    None => sys.run_core(&trace, job.warmup, usize::MAX, None),
-                };
-                (result, telemetry, None)
+                (Some(traffic), Input::Trace(trace)) => {
+                    let (result, closed, telemetry) =
+                        TrafficModel::new(traffic).run_telemetry(sys, &trace);
+                    (result, telemetry, Some(closed))
+                }
+                (Some(traffic), Input::Stream(mut stream)) => {
+                    let (result, closed, telemetry) =
+                        TrafficModel::new(traffic).run_stream_telemetry(sys, stream.as_mut());
+                    (result, telemetry, Some(closed))
+                }
+                (None, Input::Trace(trace)) => {
+                    let (result, _, telemetry) = match &self.progress {
+                        Some(cb) => sys.run_core(
+                            &trace,
+                            job.warmup,
+                            self.progress_every,
+                            Some(&mut |done, hit_rate| {
+                                cb(ProgressEvent {
+                                    job: i,
+                                    total,
+                                    label: &job.label,
+                                    done,
+                                    trace_len: trace.len(),
+                                    hit_rate,
+                                })
+                            }),
+                        ),
+                        None => sys.run_core(&trace, job.warmup, usize::MAX, None),
+                    };
+                    (result, telemetry, None)
+                }
+                (None, Input::Stream(mut stream)) => {
+                    let (result, _, telemetry) = match &self.progress {
+                        Some(cb) => {
+                            let trace_len =
+                                stream.total_len().map(|l| l as usize).unwrap_or(usize::MAX);
+                            sys.run_stream_core(
+                                stream.as_mut(),
+                                job.warmup,
+                                self.progress_every,
+                                Some(&mut |done, hit_rate| {
+                                    cb(ProgressEvent {
+                                        job: i,
+                                        total,
+                                        label: &job.label,
+                                        done,
+                                        trace_len,
+                                        hit_rate,
+                                    })
+                                }),
+                            )
+                        }
+                        None => sys.run_stream_core(stream.as_mut(), job.warmup, usize::MAX, None),
+                    };
+                    (result, telemetry, None)
+                }
             };
             let cell = Cell {
                 label: job.label.clone(),
@@ -517,5 +616,33 @@ mod tests {
     #[should_panic(expected = "warmup fraction")]
     fn job_rejects_bad_warmup() {
         let _ = Job::grid_cell(AppId::Cfm, PrefetcherKind::None, 100).warmup(1.0);
+    }
+
+    #[test]
+    fn streamed_app_jobs_match_materialized_and_skip_builds() {
+        let job = || Job::grid_cell(AppId::IdV, PrefetcherKind::Planaria, 2_000);
+        let mat = Runner::serial().run(vec![job()]);
+        let streamed = Runner::serial().run(vec![job().streamed()]);
+        assert_eq!(mat.cells[0].result, streamed.cells[0].result);
+        assert_eq!(mat.trace_builds, 1);
+        assert_eq!(streamed.trace_builds, 0, "streamed cells must not materialize");
+    }
+
+    #[test]
+    fn stream_factory_source_runs_each_cell_on_a_fresh_stream() {
+        let spec = apps::profile(AppId::Ko).scaled(1_500);
+        let factory: StreamFactory = {
+            let spec = spec.clone();
+            Arc::new(move || Box::new(spec.stream()))
+        };
+        let report = Runner::new(2).run(vec![
+            Job::new("a", TraceSource::Stream(Arc::clone(&factory)), PrefetcherKind::None),
+            Job::new("b", TraceSource::Stream(factory), PrefetcherKind::None),
+        ]);
+        assert_eq!(report.trace_builds, 0);
+        assert_eq!(
+            report.cells[0].result, report.cells[1].result,
+            "identical factories must give identical cells"
+        );
     }
 }

@@ -6,8 +6,15 @@ use planaria_core::Prefetcher;
 use planaria_dram::{Completion, DramConfig, MemoryController, Priority};
 use planaria_hash::{map_with_capacity, FastHashMap};
 use planaria_telemetry::{EventKind, Telemetry, TelemetryConfig, TelemetryReport};
+use planaria_trace::stream::AccessStream;
 
 use crate::metrics::{DeviceStat, SimResult, TrafficBreakdown};
+
+/// Accesses pulled per [`AccessStream::next_chunk`] call on the streamed
+/// run paths — large enough to amortise per-chunk overhead, small enough
+/// that the engine's working buffer stays cache-resident and steady-state
+/// memory is flat regardless of trace length.
+pub const STREAM_CHUNK: usize = 8192;
 
 /// Feedback-directed prefetch throttling (Srinath et al., HPCA 2007
 /// style): the controller samples prefetch accuracy over fixed intervals
@@ -653,37 +660,144 @@ impl MemorySystem {
     }
 
     pub(crate) fn run_core(
-        mut self,
+        self,
         trace: &planaria_trace::Trace,
+        warmup: f64,
+        every: usize,
+        observe: Option<&mut dyn FnMut(usize, f64)>,
+    ) -> (SimResult, planaria_dram::DramStats, TelemetryReport) {
+        // Materialized runs are the streamed loop over a borrowing adapter
+        // — one code path, so streamed and materialized runs are identical
+        // by construction (and `tests/streaming.rs` pins it).
+        self.run_stream_core(&mut trace.stream(), warmup, every, observe)
+    }
+
+    /// Runs a stream to exhaustion and finalises the result; the streamed
+    /// sibling of [`MemorySystem::run`].
+    ///
+    /// Memory use is flat in the stream length: the engine holds one
+    /// [`STREAM_CHUNK`]-bounded working buffer, never the whole trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream ends with a latched
+    /// [`planaria_trace::io::ParseTraceError`] — a truncated replay must
+    /// not be reported as a short, successful run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use planaria_sim::experiment::PrefetcherKind;
+    /// use planaria_sim::{MemorySystem, SystemConfig};
+    /// use planaria_trace::apps::{profile, AppId};
+    ///
+    /// let spec = profile(AppId::HoK).scaled(5_000);
+    /// let sys = |k: PrefetcherKind| MemorySystem::new(SystemConfig::default(), k.build());
+    ///
+    /// let materialized = sys(PrefetcherKind::Planaria).run(&spec.build());
+    /// let streamed = sys(PrefetcherKind::Planaria).run_stream(&mut spec.stream());
+    /// assert_eq!(streamed, materialized);
+    /// ```
+    pub fn run_stream(self, stream: &mut dyn AccessStream) -> SimResult {
+        self.run_stream_with_warmup(stream, 0.0)
+    }
+
+    /// [`MemorySystem::run_stream`] with a leading `warmup` fraction of
+    /// accesses excluded from the metrics, like
+    /// [`MemorySystem::run_with_warmup`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` is not within `0.0..1.0`, if `warmup` is
+    /// positive and the stream does not know its
+    /// [`AccessStream::total_len`] (the boundary would be a guess), or if
+    /// the stream ends with a latched error.
+    pub fn run_stream_with_warmup(self, stream: &mut dyn AccessStream, warmup: f64) -> SimResult {
+        assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
+        self.run_stream_core(stream, warmup, usize::MAX, None).0
+    }
+
+    /// [`MemorySystem::run_observed`] over a stream (the runner's live
+    /// progress hook for streamed jobs).
+    ///
+    /// # Panics
+    ///
+    /// As [`MemorySystem::run_stream_with_warmup`], plus if `every` is
+    /// zero.
+    pub fn run_stream_observed(
+        self,
+        stream: &mut dyn AccessStream,
+        warmup: f64,
+        every: usize,
+        observe: &mut dyn FnMut(usize, f64),
+    ) -> SimResult {
+        assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
+        assert!(every > 0, "observation interval must be positive");
+        self.run_stream_core(stream, warmup, every, Some(observe)).0
+    }
+
+    /// [`MemorySystem::run_telemetry`] over a stream.
+    ///
+    /// # Panics
+    ///
+    /// As [`MemorySystem::run_stream_with_warmup`].
+    pub fn run_stream_telemetry(
+        self,
+        stream: &mut dyn AccessStream,
+        warmup: f64,
+    ) -> (SimResult, TelemetryReport) {
+        assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
+        let (result, _, telemetry) = self.run_stream_core(stream, warmup, usize::MAX, None);
+        (result, telemetry)
+    }
+
+    pub(crate) fn run_stream_core(
+        mut self,
+        stream: &mut dyn AccessStream,
         warmup: f64,
         every: usize,
         mut observe: Option<&mut dyn FnMut(usize, f64)>,
     ) -> (SimResult, planaria_dram::DramStats, TelemetryReport) {
         assert!((0.0..1.0).contains(&warmup), "warmup fraction must be in [0, 1)");
-        let accesses = trace.accesses();
-        let skip = (accesses.len() as f64 * warmup) as usize;
-        // Dispatch in chunks bounded by the warmup boundary and the
-        // observation interval — the only two places the loop must stop —
-        // so everything in between runs through the batched path.
+        let skip = if warmup > 0.0 {
+            let total =
+                stream.total_len().expect("warmup fraction needs a stream with a known length");
+            (total as f64 * warmup) as usize
+        } else {
+            0
+        };
+        let name = stream.name().to_string();
+        // Pull in chunks clipped at the warmup boundary and the observation
+        // interval — the only two places the loop must stop — so everything
+        // in between runs through the batched path.
         let mut done = 0usize;
-        while done < accesses.len() {
+        let mut chunk = Vec::new();
+        loop {
             if done == skip && skip > 0 {
                 self.reset_metrics();
             }
-            let mut end = accesses.len();
+            let mut max = STREAM_CHUNK;
             if done < skip {
-                end = end.min(skip);
+                max = max.min(skip - done);
             }
-            end = end.min((done / every).saturating_add(1).saturating_mul(every));
-            self.process_batch(&accesses[done..end]);
-            done = end;
+            let next_stop = (done / every).saturating_add(1).saturating_mul(every);
+            max = max.min(next_stop - done);
+            let n = stream.next_chunk(max, &mut chunk);
+            if n == 0 {
+                break;
+            }
+            self.process_batch(&chunk);
+            done += n;
             if let Some(cb) = observe.as_deref_mut() {
                 if done.is_multiple_of(every) {
                     cb(done, self.interim_hit_rate());
                 }
             }
         }
-        self.finish_parts(trace.name())
+        if let Some(e) = stream.error() {
+            panic!("trace stream {name:?} failed after {done} accesses: {e}");
+        }
+        self.finish_parts(&name)
     }
 
     /// Zeroes every accumulated metric while keeping microarchitectural

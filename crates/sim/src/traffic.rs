@@ -4,14 +4,17 @@
 //! cycle, no matter how congested the memory system is — fine for cache
 //! contents and hit rates, but it cannot show *slowdown*: a requestor that
 //! stalls on a slow memory system would, in reality, issue its next request
-//! later. This module closes the loop: the trace is split into per-device
-//! request streams ([`planaria_trace::Trace::split_by_device`]) and each
-//! device gets a bounded window of outstanding requests. A device only
-//! injects its next access once a completion frees a slot, so arrival
-//! times are *derived from* memory-system behaviour instead of replayed
-//! verbatim. The original inter-access gaps within each stream are kept as
-//! think time, so an uncontended device reproduces its recorded schedule
-//! exactly.
+//! later. This module closes the loop: the source [`AccessStream`] is
+//! demuxed into per-device request queues on the fly and each device gets
+//! a bounded window of outstanding requests. A device only injects its
+//! next access once a completion frees a slot, so arrival times are
+//! *derived from* memory-system behaviour instead of replayed verbatim.
+//! The original inter-access gaps within each stream are kept as think
+//! time, so an uncontended device reproduces its recorded schedule
+//! exactly. Materialized traces run through the same demux via
+//! [`planaria_trace::TraceStream`]; [`TrafficModel::run_stream`] accepts
+//! any stream (synthetic renderers, packed-file replay) without holding
+//! the trace in memory.
 //!
 //! With an effectively infinite window no device ever stalls, every access
 //! is injected at its original cycle in the original order, and the run is
@@ -35,11 +38,12 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-use planaria_common::{Cycle, MemAccess};
+use planaria_common::{Cycle, DeviceId, MemAccess};
 use planaria_hash::{map_with_capacity, FastHashMap};
 use planaria_telemetry::TelemetryReport;
+use planaria_trace::stream::AccessStream;
 use planaria_trace::Trace;
 
 use crate::metrics::SimResult;
@@ -48,6 +52,9 @@ use crate::system::MemorySystem;
 /// How far the clock advances per step while every eligible device is
 /// stalled (matches the DRAM back-pressure step in the open-loop path).
 const TIME_STEP: u64 = 500;
+
+/// Accesses pulled from the source stream per demux refill.
+const PULL_CHUNK: usize = 4096;
 
 /// Closed-loop injection parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,22 +127,92 @@ pub struct ClosedLoopReport {
 }
 
 /// Per-device injection state during a closed-loop run.
+///
+/// One slot exists per [`DeviceId`]; slots whose device never appears in
+/// the source stream stay inert (`first_arrival` remains `None`).
 struct DevState {
-    /// Indices into the trace's access slice, ascending.
-    indices: Vec<usize>,
-    /// Next stream position to inject.
-    pos: usize,
+    /// Demuxed-but-not-yet-injected accesses, as `(stream position,
+    /// access)` — the position is the tiebreak that reproduces the
+    /// recorded trace order.
+    buf: VecDeque<(u64, MemAccess)>,
     /// Requests injected but not yet completed.
     outstanding: usize,
     /// Earliest cycle the next access may inject (first arrival, then
-    /// previous injection plus the recorded think-time gap).
+    /// previous injection plus the recorded think-time gap). Only valid
+    /// while `need_gap` is false.
     next_ready: Cycle,
+    /// The head-of-buffer think-time gap has not been applied yet (the
+    /// successor access may not even be demuxed yet, so the gap is
+    /// resolved lazily once it is visible).
+    need_gap: bool,
+    /// Clock at which the previous access was injected.
+    last_inject: Cycle,
+    /// Recorded cycle of the previous injected access.
+    last_recorded: Cycle,
     /// Completion cycle of the latest retired request.
     last_completion: Cycle,
-    /// First recorded arrival (span baseline).
-    first_arrival: Cycle,
-    /// Last recorded arrival (open-loop finish baseline).
+    /// First recorded arrival (span baseline); `None` until the device
+    /// first appears.
+    first_arrival: Option<Cycle>,
+    /// Last recorded arrival seen so far (open-loop finish baseline).
     last_arrival: Cycle,
+    /// Total accesses demuxed to this device.
+    seen: u64,
+}
+
+impl DevState {
+    fn new() -> Self {
+        Self {
+            buf: VecDeque::new(),
+            outstanding: 0,
+            next_ready: Cycle::ZERO,
+            need_gap: false,
+            last_inject: Cycle::ZERO,
+            last_recorded: Cycle::ZERO,
+            last_completion: Cycle::ZERO,
+            first_arrival: None,
+            last_arrival: Cycle::ZERO,
+            seen: 0,
+        }
+    }
+}
+
+/// Demux cursor over the source stream: pulls [`PULL_CHUNK`]-sized chunks
+/// and routes each access to its device's buffer, tagged with its stream
+/// position.
+struct Demux<'a> {
+    stream: &'a mut dyn AccessStream,
+    chunk: Vec<MemAccess>,
+    /// Stream position of the next access to pull.
+    seq: u64,
+    /// Recorded cycle of the last pulled access; every not-yet-pulled
+    /// access arrives at or after this (streams are cycle-sorted), which
+    /// is what makes the bounded pull horizon sound.
+    last_cycle: Cycle,
+    exhausted: bool,
+}
+
+impl Demux<'_> {
+    /// Pulls one chunk into the device buffers; sets `exhausted` at
+    /// end-of-stream.
+    fn pull(&mut self, devs: &mut [DevState]) {
+        if self.stream.next_chunk(PULL_CHUNK, &mut self.chunk) == 0 {
+            self.exhausted = true;
+            return;
+        }
+        for a in &self.chunk {
+            let d = &mut devs[a.device.index()];
+            if d.first_arrival.is_none() {
+                d.first_arrival = Some(a.cycle);
+                d.next_ready = a.cycle;
+            }
+            d.last_arrival = a.cycle;
+            d.seen += 1;
+            d.buf.push_back((self.seq, *a));
+            self.seq += 1;
+        }
+        self.last_cycle = self.chunk.last().expect("chunk non-empty").cycle;
+    }
 }
 
 /// Drives a [`MemorySystem`] with closed-loop, per-device injection.
@@ -161,32 +238,55 @@ impl TrafficModel {
     /// [`MemorySystem::run_telemetry`]).
     pub fn run_telemetry(
         self,
-        mut sys: MemorySystem,
+        sys: MemorySystem,
         trace: &Trace,
+    ) -> (SimResult, ClosedLoopReport, TelemetryReport) {
+        // Materialized runs ride the streamed demux over a borrowing
+        // adapter — one code path, pinned identical by the regression
+        // tests.
+        self.run_stream_telemetry(sys, &mut trace.stream())
+    }
+
+    /// [`TrafficModel::run`] over an [`AccessStream`]: the closed loop
+    /// demuxes the stream into per-device windows on the fly, so runs of
+    /// any length need only the accesses near the current injection
+    /// horizon in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream ends with a latched
+    /// [`planaria_trace::io::ParseTraceError`].
+    pub fn run_stream(
+        self,
+        sys: MemorySystem,
+        stream: &mut dyn AccessStream,
+    ) -> (SimResult, ClosedLoopReport) {
+        let (result, report, _) = self.run_stream_telemetry(sys, stream);
+        (result, report)
+    }
+
+    /// [`TrafficModel::run_stream`], additionally returning the merged
+    /// [`TelemetryReport`].
+    ///
+    /// # Panics
+    ///
+    /// As [`TrafficModel::run_stream`].
+    pub fn run_stream_telemetry(
+        self,
+        mut sys: MemorySystem,
+        stream: &mut dyn AccessStream,
     ) -> (SimResult, ClosedLoopReport, TelemetryReport) {
         sys.enable_completion_log();
         let sc_hit_latency = sys.sc_hit_latency();
-        let accesses = trace.accesses();
+        let name = stream.name().to_string();
 
-        let mut devs: Vec<DevState> = trace
-            .split_by_device()
-            .into_iter()
-            .map(|s| {
-                let first = accesses[s.indices[0]].cycle;
-                let last = accesses[*s.indices.last().expect("stream non-empty")].cycle;
-                DevState {
-                    indices: s.indices,
-                    pos: 0,
-                    outstanding: 0,
-                    next_ready: first,
-                    last_completion: Cycle::ZERO,
-                    first_arrival: first,
-                    last_arrival: last,
-                }
-            })
-            .collect();
-
-        let mut clock = devs.iter().map(|d| d.next_ready).min().unwrap_or(Cycle::ZERO);
+        let mut devs: Vec<DevState> = (0..DeviceId::COUNT).map(|_| DevState::new()).collect();
+        let mut demux =
+            Demux { stream, chunk: Vec::new(), seq: 0, last_cycle: Cycle::ZERO, exhausted: false };
+        // Prime the buffers so the clock starts at the first recorded
+        // arrival, exactly like the materialized model.
+        demux.pull(&mut devs);
+        let mut clock = devs.iter().filter_map(|d| d.first_arrival).min().unwrap_or(Cycle::ZERO);
         // Demand misses waiting on a DRAM fill: block number -> the local
         // dev-slot of every waiting injection (one entry per merged miss).
         let mut waiting: FastHashMap<u64, Vec<usize>> = map_with_capacity(256);
@@ -214,29 +314,59 @@ impl TrafficModel {
                 devs[slot].last_completion = devs[slot].last_completion.max(Cycle::new(finish));
             }
 
-            // The next injection: among devices with stream left and a free
-            // window slot, the earliest (ready time, original trace index)
-            // — the tiebreak reproduces the trace's stable sort order, so
-            // an infinite window degenerates to exact open-loop replay.
-            let mut candidate: Option<(Cycle, usize, usize)> = None;
-            let mut any_stalled = false;
-            for (slot, d) in devs.iter().enumerate() {
-                if d.pos >= d.indices.len() {
-                    continue;
+            // The next injection: among devices with a buffered access and
+            // a free window slot, the earliest (ready time, stream
+            // position) — the tiebreak reproduces the trace's stable sort
+            // order, so an infinite window degenerates to exact open-loop
+            // replay. Not-yet-demuxed accesses are pulled until none could
+            // beat the current candidate: a device never injects before
+            // its recorded arrival, unseen arrivals are at or after
+            // `demux.last_cycle`, and ties go to the lower stream
+            // position, so once `last_cycle` passes the candidate's
+            // injection time the selection is final.
+            let mut candidate: Option<(Cycle, u64, usize)>;
+            let mut any_stalled;
+            loop {
+                candidate = None;
+                any_stalled = false;
+                for (slot, d) in devs.iter_mut().enumerate() {
+                    let Some(&(seq, front)) = d.buf.front() else {
+                        // Empty buffer: if the device is window-full it may
+                        // still have undemuxed stream left, so treat it as
+                        // stalled; otherwise any unseen access of its loses
+                        // the selection anyway (it arrives at or after
+                        // `last_cycle`, past the pull horizon).
+                        if !demux.exhausted && d.outstanding >= self.cfg.window {
+                            any_stalled = true;
+                        }
+                        continue;
+                    };
+                    if d.outstanding >= self.cfg.window {
+                        any_stalled = true;
+                        continue;
+                    }
+                    if d.need_gap {
+                        // Preserve the recorded think time to this access.
+                        d.next_ready = d.last_inject + front.cycle.since(d.last_recorded);
+                        d.need_gap = false;
+                    }
+                    let t = d.next_ready.max(clock);
+                    if candidate.is_none_or(|c| (c.0, c.1) > (t, seq)) {
+                        candidate = Some((t, seq, slot));
+                    }
                 }
-                if d.outstanding >= self.cfg.window {
-                    any_stalled = true;
-                    continue;
+                let bound = match candidate {
+                    Some((t, _, _)) => t,
+                    None => clock + TIME_STEP,
+                };
+                if demux.exhausted || demux.last_cycle > bound {
+                    break;
                 }
-                let t = d.next_ready.max(clock);
-                let key = (t, d.indices[d.pos], slot);
-                if candidate.is_none_or(|c| (c.0, c.1) > (key.0, key.1)) {
-                    candidate = Some(key);
-                }
+                demux.pull(&mut devs);
             }
 
-            let Some((t, idx, slot)) = candidate else {
-                if devs.iter().all(|d| d.pos >= d.indices.len()) {
+            let Some((t, _, slot)) = candidate else {
+                if demux.exhausted && devs.iter().all(|d| d.buf.is_empty()) {
                     break; // every stream exhausted; tail drains below
                 }
                 // Every remaining device is window-stalled: let time pass
@@ -262,21 +392,22 @@ impl TrafficModel {
                 clock = t;
             }
 
-            let access = MemAccess { cycle: clock, ..accesses[idx] };
+            let (_, recorded) = devs[slot].buf.pop_front().expect("candidate head present");
+            let access = MemAccess { cycle: clock, ..recorded };
             let hit = sys.process_tracked(&access);
             let d = &mut devs[slot];
-            d.pos += 1;
             d.outstanding += 1;
-            if d.pos < d.indices.len() {
-                // Preserve the recorded think time to the next access.
-                let gap = accesses[d.indices[d.pos]].cycle.since(accesses[idx].cycle);
-                d.next_ready = clock + gap;
-            }
+            d.last_inject = clock;
+            d.last_recorded = recorded.cycle;
+            d.need_gap = true;
             if hit {
                 hit_heap.push(Reverse((clock.as_u64() + sc_hit_latency, slot)));
             } else {
                 waiting.entry(access.addr.block_number()).or_default().push(slot);
             }
+        }
+        if let Some(e) = demux.stream.error() {
+            panic!("trace stream {name:?} failed after {} accesses: {e}", demux.seq);
         }
 
         // Settle what is still in flight: hits complete unconditionally,
@@ -285,7 +416,7 @@ impl TrafficModel {
             devs[slot].outstanding -= 1;
             devs[slot].last_completion = devs[slot].last_completion.max(Cycle::new(finish));
         }
-        let (result, _, telemetry, tail) = sys.finish_parts_logged(trace.name());
+        let (result, _, telemetry, tail) = sys.finish_parts_logged(&name);
         for (block, finish) in tail {
             if let Some(ws) = waiting.remove(&block) {
                 for slot in ws {
@@ -298,20 +429,20 @@ impl TrafficModel {
 
         let outcomes: Vec<DeviceOutcome> = devs
             .iter()
-            .map(|d| {
-                let device = accesses[d.indices[0]].device;
-                let open_loop_span =
-                    (d.last_arrival + sc_hit_latency).since(d.first_arrival).max(1);
-                let derived_span = d.last_completion.since(d.first_arrival).max(1);
-                DeviceOutcome {
-                    device: device.label().to_string(),
-                    accesses: d.indices.len() as u64,
+            .enumerate()
+            .filter_map(|(slot, d)| {
+                let first_arrival = d.first_arrival?;
+                let open_loop_span = (d.last_arrival + sc_hit_latency).since(first_arrival).max(1);
+                let derived_span = d.last_completion.since(first_arrival).max(1);
+                Some(DeviceOutcome {
+                    device: DeviceId::from_index(slot).label().to_string(),
+                    accesses: d.seen,
                     open_loop_finish: d.last_arrival.as_u64(),
                     derived_finish: d.last_completion.as_u64(),
                     open_loop_span,
                     derived_span,
                     slowdown: derived_span as f64 / open_loop_span as f64,
-                }
+                })
             })
             .collect();
         let unfairness = {
@@ -371,5 +502,19 @@ mod tests {
     #[should_panic(expected = "window must be at least 1")]
     fn zero_window_rejected() {
         let _ = TrafficConfig::new(0);
+    }
+
+    #[test]
+    fn streamed_closed_loop_matches_materialized() {
+        // A tight window (heavy contention) through a WorkloadStream must
+        // reproduce the materialized closed loop bit-for-bit.
+        let spec = profile(AppId::HoK).scaled(2_000);
+        let trace = spec.build();
+        let mk = || MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()));
+        let (mat, mat_report) = TrafficModel::new(TrafficConfig::new(2)).run(mk(), &trace);
+        let (str_r, str_report) =
+            TrafficModel::new(TrafficConfig::new(2)).run_stream(mk(), &mut spec.stream());
+        assert_eq!(mat, str_r, "closed-loop result diverged between streamed and materialized");
+        assert_eq!(mat_report, str_report);
     }
 }

@@ -23,7 +23,11 @@
 //!   a weighted mix of [`synth`] components; [`WorkloadSpec::build`] renders
 //!   it into a [`Trace`].
 //! * [`apps`] — the ten per-application profiles standing in for Table 2.
-//! * [`io`] — text and binary serialisation of traces.
+//! * [`stream`] — pull-based [`stream::AccessStream`] chunked rendering
+//!   and replay, for runs too large to materialize
+//!   ([`WorkloadSpec::stream`], [`Trace::stream`]).
+//! * [`io`] — text and binary serialisation of traces, including the
+//!   chunked on-disk `planaria-trace-v1` format (see `TRACE_FORMAT.md`).
 //! * [`filter`] — per-device private-cache filtering for users bringing
 //!   raw core-side traces (the SC only sees what the upper levels miss).
 //!
@@ -44,8 +48,10 @@
 pub mod apps;
 pub mod filter;
 pub mod io;
+pub mod stream;
 pub mod synth;
 mod trace;
 
+pub use stream::{AccessStream, TraceStream, WorkloadStream};
 pub use synth::{ComponentSpec, WeightedComponent, WorkloadSpec};
 pub use trace::{DeviceStream, Trace, TraceSummary};

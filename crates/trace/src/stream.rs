@@ -1,0 +1,290 @@
+//! Pull-based access streaming: render or replay traces chunk-at-a-time.
+//!
+//! Every trace consumer in the workspace ultimately wants an ordered
+//! sequence of [`MemAccess`] values. Materializing that sequence as a
+//! `Vec` caps experiments at whatever fits in RAM; this module defines the
+//! [`AccessStream`] abstraction that decouples *production* of the
+//! sequence from *consumption*, so the engine can simulate hundreds of
+//! millions of accesses in constant memory:
+//!
+//! * [`WorkloadStream`] renders a [`WorkloadSpec`] on demand from its
+//!   seeds (see [`WorkloadSpec::stream`]) — bit-identical to
+//!   [`WorkloadSpec::build`].
+//! * [`TraceStream`] adapts an in-memory [`Trace`] (see
+//!   [`Trace::stream`]), so every streamed code path also accepts
+//!   materialized traces.
+//! * [`crate::io::ChunkedTraceReader`] replays the on-disk
+//!   `planaria-trace-v1` format documented in `TRACE_FORMAT.md`.
+//!
+//! # The chunk-determinism contract
+//!
+//! An [`AccessStream`] yields a single well-defined access sequence. The
+//! chunk sizes a consumer asks for are *not* part of that sequence:
+//! concatenating the chunks of any `next_chunk` schedule must produce the
+//! identical sequence (pinned by `tests/streaming.rs`). Streams buffer at
+//! most one chunk of internal state — no hidden whole-trace buffering —
+//! which is what keeps the engine's steady-state memory flat.
+
+use planaria_common::MemAccess;
+
+use crate::io::ParseTraceError;
+use crate::synth::ComponentGen;
+use crate::{Trace, WorkloadSpec};
+
+/// A pull-based, deterministic source of memory accesses.
+///
+/// Implementations yield the accesses of one workload in arrival
+/// (cycle-sorted) order, a chunk at a time. The sequence is a pure
+/// function of the stream's construction — rewinding is done by
+/// constructing a fresh stream, and two streams built the same way yield
+/// bit-identical sequences regardless of the chunk sizes requested.
+///
+/// # Errors
+///
+/// `next_chunk` is infallible so the simulation loops stay `Result`-free;
+/// a source that can fail mid-stream (e.g. a corrupt on-disk trace)
+/// instead ends the stream early and latches the failure in
+/// [`AccessStream::error`]. Consumers must check `error()` once a stream
+/// is exhausted and fail loudly — treating a truncated replay as a short
+/// workload would silently skew every derived metric.
+///
+/// # Examples
+///
+/// ```
+/// use planaria_trace::stream::AccessStream;
+/// use planaria_trace::apps::{profile, AppId};
+///
+/// let spec = profile(AppId::HoK).scaled(10_000);
+/// let mut stream = spec.stream();
+/// assert_eq!(stream.total_len(), Some(10_000));
+///
+/// let mut chunk = Vec::new();
+/// let mut total = 0;
+/// while stream.next_chunk(4096, &mut chunk) > 0 {
+///     total += chunk.len();
+/// }
+/// assert_eq!(total, 10_000);
+/// assert!(stream.error().is_none());
+/// ```
+pub trait AccessStream {
+    /// The workload name (used for result labelling, like [`Trace::name`]).
+    fn name(&self) -> &str;
+
+    /// Total number of accesses the stream will yield, when known up
+    /// front.
+    ///
+    /// Synthetic and packed-file streams know their length; `None` is
+    /// reserved for open-ended sources. Consumers that need the length
+    /// (e.g. warmup-fraction accounting) must reject `None` rather than
+    /// guess.
+    fn total_len(&self) -> Option<u64>;
+
+    /// Clears `out`, fills it with up to `max` next accesses, and returns
+    /// how many were produced.
+    ///
+    /// Returns `0` only on exhaustion (or a latched error), and keeps
+    /// returning `0` from then on. `max` must be positive; chunks are
+    /// never empty mid-stream.
+    fn next_chunk(&mut self, max: usize, out: &mut Vec<MemAccess>) -> usize;
+
+    /// The failure that ended the stream early, if any.
+    ///
+    /// `None` while the stream is live and after a clean end-of-stream.
+    fn error(&self) -> Option<&ParseTraceError> {
+        None
+    }
+}
+
+/// Borrowing [`AccessStream`] adapter over an in-memory [`Trace`].
+///
+/// See [`Trace::stream`]; this is what lets materialized traces flow
+/// through streamed code paths with identical results.
+#[derive(Debug)]
+pub struct TraceStream<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl Trace {
+    /// Returns a stream yielding this trace's accesses in order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use planaria_trace::stream::AccessStream;
+    /// use planaria_trace::apps::{profile, AppId};
+    ///
+    /// let trace = profile(AppId::Cfm).scaled(1_000).build();
+    /// let mut stream = trace.stream();
+    /// let mut chunk = Vec::new();
+    /// assert_eq!(stream.next_chunk(300, &mut chunk), 300);
+    /// assert_eq!(chunk, trace.accesses()[..300]);
+    /// ```
+    pub fn stream(&self) -> TraceStream<'_> {
+        TraceStream { trace: self, pos: 0 }
+    }
+}
+
+impl AccessStream for TraceStream<'_> {
+    fn name(&self) -> &str {
+        self.trace.name()
+    }
+
+    fn total_len(&self) -> Option<u64> {
+        Some(self.trace.len() as u64)
+    }
+
+    fn next_chunk(&mut self, max: usize, out: &mut Vec<MemAccess>) -> usize {
+        out.clear();
+        let n = max.min(self.trace.len() - self.pos);
+        out.extend_from_slice(&self.trace.accesses()[self.pos..self.pos + n]);
+        self.pos += n;
+        n
+    }
+}
+
+/// One component's progress inside a [`WorkloadStream`].
+struct CompState {
+    gen: ComponentGen,
+    /// Accesses of the component's share still to be drawn after `head`.
+    remaining: usize,
+    /// The component's next (not yet merged) access.
+    head: Option<MemAccess>,
+}
+
+/// Streaming renderer of a [`WorkloadSpec`] (see [`WorkloadSpec::stream`]).
+///
+/// Runs every component's generator concurrently and merges their
+/// per-component timelines in arrival order, exactly reproducing
+/// [`WorkloadSpec::build`]: the bulk path concatenates whole component
+/// shares and stable-sorts by cycle, and since each component's timeline
+/// is strictly increasing, that stable sort equals a k-way merge keyed on
+/// `(cycle, component index)` — which is what this stream performs, in
+/// O(components) memory.
+pub struct WorkloadStream {
+    name: String,
+    length: u64,
+    emitted: u64,
+    comps: Vec<CompState>,
+}
+
+impl WorkloadStream {
+    /// Creates the stream; see [`WorkloadSpec::stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no components.
+    pub(crate) fn new(spec: &WorkloadSpec) -> Self {
+        let comps = spec
+            .plans()
+            .into_iter()
+            .map(|plan| {
+                let mut gen = plan.spec.generator(plan.seed, plan.region_base);
+                // Shares are always positive (the bulk path overshoots each
+                // share by 16), so the first head draw is unconditional.
+                let head = Some(gen.next_access());
+                CompState { gen, remaining: plan.share - 1, head }
+            })
+            .collect();
+        Self { name: spec.abbr.clone(), length: spec.length as u64, emitted: 0, comps }
+    }
+}
+
+impl AccessStream for WorkloadStream {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn total_len(&self) -> Option<u64> {
+        Some(self.length)
+    }
+
+    fn next_chunk(&mut self, max: usize, out: &mut Vec<MemAccess>) -> usize {
+        out.clear();
+        let want = max.min((self.length - self.emitted) as usize);
+        out.reserve(want);
+        for _ in 0..want {
+            // Earliest head wins; ties go to the lowest component index,
+            // matching the bulk path's stable sort over concatenated
+            // shares.
+            let mut best: Option<usize> = None;
+            for (i, c) in self.comps.iter().enumerate() {
+                let Some(h) = &c.head else { continue };
+                match best {
+                    Some(b) if self.comps[b].head.expect("best head set").cycle <= h.cycle => {}
+                    _ => best = Some(i),
+                }
+            }
+            let Some(b) = best else { break };
+            let c = &mut self.comps[b];
+            let access = c.head.take().expect("selected head present");
+            if c.remaining > 0 {
+                c.remaining -= 1;
+                c.head = Some(c.gen.next_access());
+            }
+            out.push(access);
+            self.emitted += 1;
+        }
+        out.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{profile, AppId};
+
+    /// Concatenates a stream's chunks under the given `max` schedule.
+    fn drain(stream: &mut dyn AccessStream, max: usize) -> Vec<MemAccess> {
+        let mut all = Vec::new();
+        let mut chunk = Vec::new();
+        while stream.next_chunk(max, &mut chunk) > 0 {
+            assert!(chunk.len() <= max, "chunk exceeded requested max");
+            all.extend_from_slice(&chunk);
+        }
+        // Exhaustion is permanent.
+        assert_eq!(stream.next_chunk(max, &mut chunk), 0);
+        all
+    }
+
+    #[test]
+    fn workload_stream_matches_build_for_every_app() {
+        for app in AppId::ALL {
+            let spec = profile(app).scaled(5_000);
+            let built = spec.build();
+            let streamed = drain(&mut spec.stream(), 1024);
+            assert_eq!(streamed, built.accesses(), "{app:?} diverged");
+        }
+    }
+
+    #[test]
+    fn workload_stream_is_chunk_size_independent() {
+        let spec = profile(AppId::Qsm).scaled(3_000);
+        let whole = drain(&mut spec.stream(), 3_000);
+        for max in [1usize, 7, 256, 4096] {
+            assert_eq!(drain(&mut spec.stream(), max), whole, "chunk max {max} diverged");
+        }
+    }
+
+    #[test]
+    fn trace_stream_replays_accesses_verbatim() {
+        let trace = profile(AppId::TikT).scaled(2_000).build();
+        let mut s = trace.stream();
+        assert_eq!(s.name(), trace.name());
+        assert_eq!(s.total_len(), Some(2_000));
+        assert_eq!(drain(&mut s, 333), trace.accesses());
+    }
+
+    #[test]
+    fn empty_trace_stream_is_immediately_exhausted() {
+        let trace = Trace::empty("e");
+        let mut s = trace.stream();
+        let mut chunk = vec![MemAccess::read(
+            planaria_common::PhysAddr::new(0x40),
+            planaria_common::Cycle::ZERO,
+        )];
+        assert_eq!(s.next_chunk(16, &mut chunk), 0);
+        assert!(chunk.is_empty(), "next_chunk must clear the buffer even at exhaustion");
+        assert!(s.error().is_none());
+    }
+}

@@ -15,10 +15,11 @@
 //! which is how the per-app overlap levels of Figure 4 are dialled in.
 
 use planaria_common::{Bitmap64, BlockIndex, Cycle, MemAccess, PageNum, PhysAddr, BLOCKS_PER_PAGE};
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use super::{emit, rng_for, sample_gap, Envelope};
+use super::{emit_one, rng_for, sample_gap, Envelope};
 
 /// Parameters of the footprint component.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +78,14 @@ impl FootprintSpec {
         region_base: PageNum,
         out: &mut Vec<MemAccess>,
     ) {
+        let mut gen = self.generator(seed, region_base);
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(gen.next_access());
+        }
+    }
+
+    pub(crate) fn generator(&self, seed: u64, region_base: PageNum) -> FootprintGen {
         assert!(self.pages > 0, "footprint pool must be non-empty");
         assert!(
             self.footprint_blocks > 0 && self.footprint_blocks <= BLOCKS_PER_PAGE,
@@ -85,38 +94,80 @@ impl FootprintSpec {
         assert!(self.page_spread > 0, "page_spread must be positive");
         let mut rng = rng_for(seed, 0x0F00);
         // Per-page stable snapshots.
-        let mut snapshots: Vec<Bitmap64> =
+        let snapshots: Vec<Bitmap64> =
             (0..self.pages).map(|_| random_footprint(&mut rng, self.footprint_blocks)).collect();
-
-        let mut clock = Cycle::ZERO;
-        let mut emitted = 0usize;
-        let mut order: Vec<usize> = (0..self.pages).collect();
-        'outer: loop {
-            // A round visits every page once, in fresh random order: the
-            // reuse distance of a snapshot is the whole pool, i.e. long.
-            order.shuffle(&mut rng);
-            for &pi in &order {
-                if emitted >= count {
-                    break 'outer;
-                }
-                // Occasional drift keeps the snapshot's overlap below 100%.
-                if rng.gen_bool(self.mutation_prob.clamp(0.0, 1.0)) {
-                    mutate_footprint(&mut rng, &mut snapshots[pi], self.mutation_bits);
-                }
-                let page = PageNum::new(region_base.as_u64() + pi as u64 * self.page_spread);
-                let mut blocks: Vec<usize> = snapshots[pi].iter_set().collect();
-                blocks.shuffle(&mut rng); // non-deterministic intra-visit order
-                for b in blocks {
-                    let addr = PhysAddr::from_parts(page, BlockIndex::new(b));
-                    emit(out, &mut rng, &self.envelope, addr, &mut clock, self.intra_gap);
-                    emitted += 1;
-                    if emitted >= count {
-                        break 'outer;
-                    }
-                }
-                clock += sample_gap(&mut rng, self.inter_gap);
-            }
+        let order: Vec<usize> = (0..self.pages).collect();
+        FootprintGen {
+            spec: *self,
+            rng,
+            region_base,
+            snapshots,
+            // `next_pi == order.len()` forces the round-start shuffle on
+            // the first call, matching the bulk loop's draw order.
+            next_pi: order.len(),
+            order,
+            page: PageNum::new(0),
+            blocks: Vec::new(),
+            block_pos: 0,
+            clock: Cycle::ZERO,
+            started: false,
         }
+    }
+}
+
+/// Resumable [`FootprintSpec`] generator.
+///
+/// Visit boundaries are prepared lazily: the inter-visit gap, the per-round
+/// pool shuffle and the snapshot mutation are all drawn exactly when the
+/// bulk `generate` loop would draw them, so any prefix of emitted accesses
+/// is bit-identical to the materialized sequence.
+pub(crate) struct FootprintGen {
+    spec: FootprintSpec,
+    rng: StdRng,
+    region_base: PageNum,
+    snapshots: Vec<Bitmap64>,
+    /// Visit order of the current round; shuffled in place each round, so
+    /// its state is cumulative across rounds.
+    order: Vec<usize>,
+    next_pi: usize,
+    page: PageNum,
+    blocks: Vec<usize>,
+    block_pos: usize,
+    clock: Cycle,
+    started: bool,
+}
+
+impl FootprintGen {
+    pub(crate) fn next_access(&mut self) -> MemAccess {
+        if self.block_pos == self.blocks.len() {
+            // Between visits: close out the previous one, then prepare the
+            // next page's shuffled block burst.
+            if self.started {
+                self.clock += sample_gap(&mut self.rng, self.spec.inter_gap);
+            }
+            if self.next_pi == self.order.len() {
+                // A round visits every page once, in fresh random order:
+                // the reuse distance of a snapshot is the whole pool.
+                self.order.shuffle(&mut self.rng);
+                self.next_pi = 0;
+            }
+            let pi = self.order[self.next_pi];
+            self.next_pi += 1;
+            // Occasional drift keeps the snapshot's overlap below 100%.
+            if self.rng.gen_bool(self.spec.mutation_prob.clamp(0.0, 1.0)) {
+                mutate_footprint(&mut self.rng, &mut self.snapshots[pi], self.spec.mutation_bits);
+            }
+            self.page = PageNum::new(self.region_base.as_u64() + pi as u64 * self.spec.page_spread);
+            self.blocks.clear();
+            self.blocks.extend(self.snapshots[pi].iter_set());
+            self.blocks.shuffle(&mut self.rng); // non-deterministic intra-visit order
+            self.block_pos = 0;
+            self.started = true;
+        }
+        let b = self.blocks[self.block_pos];
+        self.block_pos += 1;
+        let addr = PhysAddr::from_parts(self.page, BlockIndex::new(b));
+        emit_one(&mut self.rng, &self.spec.envelope, addr, &mut self.clock, self.spec.intra_gap)
     }
 }
 

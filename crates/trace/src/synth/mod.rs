@@ -60,6 +60,52 @@ impl ComponentSpec {
             ComponentSpec::Random(s) => s.generate(seed, count, region_base, out),
         }
     }
+
+    /// Returns a resumable generator for this component's access sequence.
+    ///
+    /// The generator emits exactly the sequence `generate` would produce,
+    /// one access per call, which is what lets the streaming layer render
+    /// a workload chunk-at-a-time without any change in output.
+    pub(crate) fn generator(&self, seed: u64, region_base: PageNum) -> ComponentGen {
+        match self {
+            ComponentSpec::Footprint(s) => ComponentGen::Footprint(s.generator(seed, region_base)),
+            ComponentSpec::Neighbor(s) => ComponentGen::Neighbor(s.generator(seed, region_base)),
+            ComponentSpec::Stream(s) => ComponentGen::Stream(s.generator(seed, region_base)),
+            ComponentSpec::Stride(s) => ComponentGen::Stride(s.generator(seed, region_base)),
+            ComponentSpec::Random(s) => ComponentGen::Random(s.generator(seed, region_base)),
+        }
+    }
+}
+
+/// A resumable per-component access generator (see [`ComponentSpec::generator`]).
+///
+/// Every variant owns its RNG and timeline state, so a prefix of calls to
+/// [`ComponentGen::next_access`] is bit-identical to the same prefix of a
+/// bulk `generate` — the property the streaming determinism tests pin.
+pub(crate) enum ComponentGen {
+    /// Footprint-snapshot traffic.
+    Footprint(footprint::FootprintGen),
+    /// Neighbouring-cluster traffic.
+    Neighbor(neighbor::NeighborGen),
+    /// Sequential streaming traffic.
+    Stream(simple::StreamGen),
+    /// Constant-stride traffic.
+    Stride(simple::StrideGen),
+    /// Irregular traffic.
+    Random(simple::RandomGen),
+}
+
+impl ComponentGen {
+    /// Emits the next access of the component's infinite sequence.
+    pub(crate) fn next_access(&mut self) -> MemAccess {
+        match self {
+            ComponentGen::Footprint(g) => g.next_access(),
+            ComponentGen::Neighbor(g) => g.next_access(),
+            ComponentGen::Stream(g) => g.next_access(),
+            ComponentGen::Stride(g) => g.next_access(),
+            ComponentGen::Random(g) => g.next_access(),
+        }
+    }
 }
 
 /// A component together with its share of the workload's accesses.
@@ -131,21 +177,77 @@ impl WorkloadSpec {
     ///
     /// Panics if the spec has no components.
     pub fn build(&self) -> Trace {
-        assert!(!self.components.is_empty(), "workload spec has no components");
-        let total_weight: f64 = self.components.iter().map(|c| c.weight).sum();
         let mut events = Vec::with_capacity(self.length + self.length / 8);
-        for (i, wc) in self.components.iter().enumerate() {
-            // Overshoot each component slightly so truncation to `length`
-            // after merging never under-fills the trace.
-            let share = (wc.weight / total_weight * self.length as f64).ceil() as usize + 16;
-            let seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
-            let region_base = PageNum::new((i as u64 + 1) * REGION_PAGES);
-            wc.spec.generate(seed, share, region_base, &mut events);
+        for plan in self.plans() {
+            plan.spec.generate(plan.seed, plan.share, plan.region_base, &mut events);
         }
         events.sort_by_key(|a| a.cycle);
         events.truncate(self.length);
         Trace::new(self.abbr.clone(), events)
     }
+
+    /// Returns a pull-based stream rendering the same accesses as
+    /// [`WorkloadSpec::build`], chunk-at-a-time, in O(components) memory.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use planaria_trace::stream::AccessStream;
+    /// use planaria_trace::{ComponentSpec, WorkloadSpec};
+    /// use planaria_trace::synth::StreamSpec;
+    ///
+    /// let spec = WorkloadSpec::new("demo", "demo", 42, 1_000)
+    ///     .with(1.0, ComponentSpec::Stream(StreamSpec::default()));
+    /// let mut stream = spec.stream();
+    /// let mut chunk = Vec::new();
+    /// let n = stream.next_chunk(256, &mut chunk);
+    /// assert_eq!(n, 256);
+    /// assert_eq!(chunk, spec.build().accesses()[..256]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no components.
+    pub fn stream(&self) -> crate::stream::WorkloadStream {
+        crate::stream::WorkloadStream::new(self)
+    }
+
+    /// Per-component generation plan shared by [`WorkloadSpec::build`] and
+    /// [`WorkloadSpec::stream`]: the share overshoot, derived seed and
+    /// private address region of each component. Keeping this in one place
+    /// is what guarantees the two render paths agree bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no components.
+    pub(crate) fn plans(&self) -> Vec<ComponentPlan<'_>> {
+        assert!(!self.components.is_empty(), "workload spec has no components");
+        let total_weight: f64 = self.components.iter().map(|c| c.weight).sum();
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, wc)| ComponentPlan {
+                spec: &wc.spec,
+                // Overshoot each component slightly so truncation to
+                // `length` after merging never under-fills the trace.
+                share: (wc.weight / total_weight * self.length as f64).ceil() as usize + 16,
+                seed: self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64),
+                region_base: PageNum::new((i as u64 + 1) * REGION_PAGES),
+            })
+            .collect()
+    }
+}
+
+/// One component's slice of a [`WorkloadSpec`] render (see `plans`).
+pub(crate) struct ComponentPlan<'a> {
+    /// The component to render.
+    pub(crate) spec: &'a ComponentSpec,
+    /// Number of accesses the component contributes before the merge.
+    pub(crate) share: usize,
+    /// Derived RNG seed.
+    pub(crate) seed: u64,
+    /// Base page of the component's private address region.
+    pub(crate) region_base: PageNum,
 }
 
 /// Shared per-access envelope: device, read ratio and timing gaps.
@@ -186,17 +288,17 @@ pub(crate) fn rng_for(seed: u64, salt: u64) -> StdRng {
     StdRng::seed_from_u64(seed ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93))
 }
 
-/// Emits one access and advances the component clock.
-pub(crate) fn emit(
-    out: &mut Vec<MemAccess>,
+/// Builds one access at the current clock and advances the component clock.
+pub(crate) fn emit_one(
     rng: &mut StdRng,
     env: &Envelope,
     addr: planaria_common::PhysAddr,
     clock: &mut Cycle,
     mean_gap: u64,
-) {
-    out.push(MemAccess::new(addr, env.kind(rng), env.device, *clock));
+) -> MemAccess {
+    let access = MemAccess::new(addr, env.kind(rng), env.device, *clock);
     *clock += sample_gap(rng, mean_gap);
+    access
 }
 
 #[cfg(test)]

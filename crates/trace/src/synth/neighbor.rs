@@ -10,10 +10,11 @@
 //! blocks.
 
 use planaria_common::{Bitmap64, BlockIndex, Cycle, MemAccess, PageNum, PhysAddr, BLOCKS_PER_PAGE};
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use super::{emit, rng_for, sample_gap, Envelope};
+use super::{emit_one, rng_for, sample_gap, Envelope};
 
 /// Parameters of the neighbouring-cluster component.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +72,14 @@ impl NeighborSpec {
         region_base: PageNum,
         out: &mut Vec<MemAccess>,
     ) {
+        let mut gen = self.generator(seed, region_base);
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(gen.next_access());
+        }
+    }
+
+    pub(crate) fn generator(&self, seed: u64, region_base: PageNum) -> NeighborGen {
         assert!(self.cluster_span > 0, "cluster_span must be positive");
         assert!(
             self.footprint_blocks > 0 && self.footprint_blocks <= BLOCKS_PER_PAGE,
@@ -78,47 +87,105 @@ impl NeighborSpec {
         );
         assert!(self.revisits > 0, "revisits must be positive");
         assert!(self.page_spacing_max > 0, "page_spacing_max must be positive");
-        let mut rng = rng_for(seed, 0xBEEF);
-        let mut clock = Cycle::ZERO;
-        let mut emitted = 0usize;
-        let mut cluster_idx = 0u64;
-        let stride = self.cluster_span as u64 * self.page_spacing_max + self.cluster_gap;
-        'outer: loop {
-            // Fresh cluster of similar pages, spaced `spacing` apart.
-            let base_page = region_base.as_u64() + cluster_idx * stride;
-            let spacing = rng.gen_range(1..=self.page_spacing_max);
-            cluster_idx += 1;
-            let base_pattern = random_footprint(&mut rng, self.footprint_blocks);
-            // Per-page bitmaps: base pattern with up to `noise_bits` swaps.
-            let patterns: Vec<Bitmap64> = (0..self.cluster_span)
-                .map(|_| noisy(&mut rng, base_pattern, self.noise_bits))
-                .collect();
-            let mut visit_order: Vec<usize> = (0..self.cluster_span).collect();
-            for _round in 0..self.revisits {
+        NeighborGen {
+            spec: *self,
+            rng: rng_for(seed, 0xBEEF),
+            region_base,
+            stride: self.cluster_span as u64 * self.page_spacing_max + self.cluster_gap,
+            cluster_idx: 0,
+            base_page: 0,
+            spacing: 1,
+            patterns: Vec::new(),
+            visit_order: Vec::new(),
+            // Zero rounds left and an exhausted (empty) visit order force a
+            // fresh cluster on the first call.
+            rounds_left: 0,
+            next_vi: 0,
+            page: PageNum::new(0),
+            blocks: Vec::new(),
+            block_pos: 0,
+            clock: Cycle::ZERO,
+            started: false,
+        }
+    }
+}
+
+/// Resumable [`NeighborSpec`] generator.
+///
+/// Cluster setup (spacing, base pattern, per-page noisy patterns) and the
+/// per-round visit shuffle are drawn lazily, exactly when the bulk
+/// `generate` loop would draw them, so any prefix of emitted accesses is
+/// bit-identical to the materialized sequence.
+pub(crate) struct NeighborGen {
+    spec: NeighborSpec,
+    rng: StdRng,
+    region_base: PageNum,
+    stride: u64,
+    cluster_idx: u64,
+    base_page: u64,
+    spacing: u64,
+    patterns: Vec<Bitmap64>,
+    /// Visit order within the current cluster; reset to identity per
+    /// cluster and shuffled in place each round (cumulative within the
+    /// cluster), matching the bulk loop.
+    visit_order: Vec<usize>,
+    rounds_left: usize,
+    next_vi: usize,
+    page: PageNum,
+    blocks: Vec<usize>,
+    block_pos: usize,
+    clock: Cycle,
+    started: bool,
+}
+
+impl NeighborGen {
+    pub(crate) fn next_access(&mut self) -> MemAccess {
+        if self.block_pos == self.blocks.len() {
+            // Between visits: close out the previous one, then advance to
+            // the next page — starting a new round or cluster as needed.
+            if self.started {
+                self.clock += sample_gap(&mut self.rng, self.spec.inter_gap);
+            }
+            if self.next_vi == self.visit_order.len() {
+                if self.rounds_left == 0 {
+                    // Fresh cluster of similar pages, spaced `spacing` apart.
+                    self.base_page = self.region_base.as_u64() + self.cluster_idx * self.stride;
+                    self.spacing = self.rng.gen_range(1..=self.spec.page_spacing_max);
+                    self.cluster_idx += 1;
+                    let base_pattern = random_footprint(&mut self.rng, self.spec.footprint_blocks);
+                    // Per-page bitmaps: base pattern, up to `noise_bits` swaps.
+                    self.patterns.clear();
+                    self.patterns.extend(
+                        (0..self.spec.cluster_span)
+                            .map(|_| noisy(&mut self.rng, base_pattern, self.spec.noise_bits)),
+                    );
+                    self.visit_order.clear();
+                    self.visit_order.extend(0..self.spec.cluster_span);
+                    self.rounds_left = self.spec.revisits;
+                }
                 // Pages of a cluster are visited in *random* order: the RPT
                 // still holds previously-visited neighbours (TLP's donor),
                 // but there is no fixed cross-page stride for an offset
                 // prefetcher to lock onto — matching the paper's premise
                 // that neighbour similarity is a bitmap property, not an
                 // address-sequence property.
-                visit_order.shuffle(&mut rng);
-                for &pi in &visit_order {
-                    let pattern = &patterns[pi];
-                    let page = PageNum::new(base_page + pi as u64 * spacing);
-                    let mut blocks: Vec<usize> = pattern.iter_set().collect();
-                    blocks.shuffle(&mut rng);
-                    for b in blocks {
-                        let addr = PhysAddr::from_parts(page, BlockIndex::new(b));
-                        emit(out, &mut rng, &self.envelope, addr, &mut clock, self.intra_gap);
-                        emitted += 1;
-                        if emitted >= count {
-                            break 'outer;
-                        }
-                    }
-                    clock += sample_gap(&mut rng, self.inter_gap);
-                }
+                self.visit_order.shuffle(&mut self.rng);
+                self.next_vi = 0;
+                self.rounds_left -= 1;
             }
+            let pi = self.visit_order[self.next_vi];
+            self.next_vi += 1;
+            self.page = PageNum::new(self.base_page + pi as u64 * self.spacing);
+            self.blocks.clear();
+            self.blocks.extend(self.patterns[pi].iter_set());
+            self.blocks.shuffle(&mut self.rng);
+            self.block_pos = 0;
+            self.started = true;
         }
+        let b = self.blocks[self.block_pos];
+        self.block_pos += 1;
+        let addr = PhysAddr::from_parts(self.page, BlockIndex::new(b));
+        emit_one(&mut self.rng, &self.spec.envelope, addr, &mut self.clock, self.spec.intra_gap)
     }
 }
 

@@ -8,9 +8,10 @@
 use planaria_common::{
     Cycle, MemAccess, PageNum, PhysAddr, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE,
 };
+use rand::rngs::StdRng;
 use rand::Rng;
 
-use super::{emit, rng_for, sample_gap, Envelope};
+use super::{emit_one, rng_for, sample_gap, Envelope};
 
 /// Sequential block streaming (e.g. GPU framebuffer scans).
 ///
@@ -48,26 +49,53 @@ impl StreamSpec {
         region_base: PageNum,
         out: &mut Vec<MemAccess>,
     ) {
-        assert!(self.run_blocks > 0, "run_blocks must be positive");
-        let mut rng = rng_for(seed, 0x57EA);
-        let mut clock = Cycle::ZERO;
-        let mut emitted = 0usize;
-        let mut run_idx = 0u64;
-        // Runs are spread across the region; each run gets its own page span.
-        let pages_per_run = (self.run_blocks as u64 / BLOCKS_PER_PAGE as u64) + 2;
-        'outer: loop {
-            let start = region_base.as_u64() * PAGE_SIZE + run_idx * pages_per_run * PAGE_SIZE;
-            run_idx += 1;
-            for b in 0..self.run_blocks {
-                let addr = PhysAddr::new(start + b as u64 * BLOCK_SIZE);
-                emit(out, &mut rng, &self.envelope, addr, &mut clock, self.gap);
-                emitted += 1;
-                if emitted >= count {
-                    break 'outer;
-                }
-            }
-            clock += sample_gap(&mut rng, self.run_gap);
+        let mut gen = self.generator(seed, region_base);
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(gen.next_access());
         }
+    }
+
+    pub(crate) fn generator(&self, seed: u64, region_base: PageNum) -> StreamGen {
+        assert!(self.run_blocks > 0, "run_blocks must be positive");
+        StreamGen {
+            spec: *self,
+            rng: rng_for(seed, 0x57EA),
+            clock: Cycle::ZERO,
+            run_idx: 0,
+            block: 0,
+            // Runs are spread across the region; each run gets its own page span.
+            pages_per_run: (self.run_blocks as u64 / BLOCKS_PER_PAGE as u64) + 2,
+            region_base,
+        }
+    }
+}
+
+/// Resumable [`StreamSpec`] generator.
+pub(crate) struct StreamGen {
+    spec: StreamSpec,
+    rng: StdRng,
+    clock: Cycle,
+    run_idx: u64,
+    block: usize,
+    pages_per_run: u64,
+    region_base: PageNum,
+}
+
+impl StreamGen {
+    pub(crate) fn next_access(&mut self) -> MemAccess {
+        let start =
+            self.region_base.as_u64() * PAGE_SIZE + self.run_idx * self.pages_per_run * PAGE_SIZE;
+        let addr = PhysAddr::new(start + self.block as u64 * BLOCK_SIZE);
+        let access =
+            emit_one(&mut self.rng, &self.spec.envelope, addr, &mut self.clock, self.spec.gap);
+        self.block += 1;
+        if self.block == self.spec.run_blocks {
+            self.block = 0;
+            self.run_idx += 1;
+            self.clock += sample_gap(&mut self.rng, self.spec.run_gap);
+        }
+        access
     }
 }
 
@@ -110,27 +138,54 @@ impl StrideSpec {
         region_base: PageNum,
         out: &mut Vec<MemAccess>,
     ) {
+        let mut gen = self.generator(seed, region_base);
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(gen.next_access());
+        }
+    }
+
+    pub(crate) fn generator(&self, seed: u64, region_base: PageNum) -> StrideGen {
         assert!(self.stride_blocks > 0, "stride_blocks must be positive");
         assert!(self.run_len > 0, "run_len must be positive");
-        let mut rng = rng_for(seed, 0x57D1);
-        let mut clock = Cycle::ZERO;
-        let mut emitted = 0usize;
-        let mut run_idx = 0u64;
         let span_bytes = (self.stride_blocks * self.run_len) as u64 * BLOCK_SIZE;
-        let pages_per_run = span_bytes / PAGE_SIZE + 2;
-        'outer: loop {
-            let start = region_base.as_u64() * PAGE_SIZE + run_idx * pages_per_run * PAGE_SIZE;
-            run_idx += 1;
-            for i in 0..self.run_len {
-                let addr = PhysAddr::new(start + (i * self.stride_blocks) as u64 * BLOCK_SIZE);
-                emit(out, &mut rng, &self.envelope, addr, &mut clock, self.gap);
-                emitted += 1;
-                if emitted >= count {
-                    break 'outer;
-                }
-            }
-            clock += sample_gap(&mut rng, self.run_gap);
+        StrideGen {
+            spec: *self,
+            rng: rng_for(seed, 0x57D1),
+            clock: Cycle::ZERO,
+            run_idx: 0,
+            pos: 0,
+            pages_per_run: span_bytes / PAGE_SIZE + 2,
+            region_base,
         }
+    }
+}
+
+/// Resumable [`StrideSpec`] generator.
+pub(crate) struct StrideGen {
+    spec: StrideSpec,
+    rng: StdRng,
+    clock: Cycle,
+    run_idx: u64,
+    pos: usize,
+    pages_per_run: u64,
+    region_base: PageNum,
+}
+
+impl StrideGen {
+    pub(crate) fn next_access(&mut self) -> MemAccess {
+        let start =
+            self.region_base.as_u64() * PAGE_SIZE + self.run_idx * self.pages_per_run * PAGE_SIZE;
+        let addr = PhysAddr::new(start + (self.pos * self.spec.stride_blocks) as u64 * BLOCK_SIZE);
+        let access =
+            emit_one(&mut self.rng, &self.spec.envelope, addr, &mut self.clock, self.spec.gap);
+        self.pos += 1;
+        if self.pos == self.spec.run_len {
+            self.pos = 0;
+            self.run_idx += 1;
+            self.clock += sample_gap(&mut self.rng, self.spec.run_gap);
+        }
+        access
     }
 }
 
@@ -172,17 +227,35 @@ impl RandomSpec {
         region_base: PageNum,
         out: &mut Vec<MemAccess>,
     ) {
+        let mut gen = self.generator(seed, region_base);
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(gen.next_access());
+        }
+    }
+
+    pub(crate) fn generator(&self, seed: u64, region_base: PageNum) -> RandomGen {
         assert!(self.pages > 0, "pool must be non-empty");
         assert!(self.page_spread > 0, "page_spread must be positive");
-        let mut rng = rng_for(seed, 0x4A4D);
-        let mut clock = Cycle::ZERO;
-        for _ in 0..count {
-            let page =
-                region_base.as_u64() + rng.gen_range(0..self.pages as u64) * self.page_spread;
-            let block = rng.gen_range(0..BLOCKS_PER_PAGE as u64);
-            let addr = PhysAddr::new(page * PAGE_SIZE + block * BLOCK_SIZE);
-            emit(out, &mut rng, &self.envelope, addr, &mut clock, self.gap);
-        }
+        RandomGen { spec: *self, rng: rng_for(seed, 0x4A4D), clock: Cycle::ZERO, region_base }
+    }
+}
+
+/// Resumable [`RandomSpec`] generator.
+pub(crate) struct RandomGen {
+    spec: RandomSpec,
+    rng: StdRng,
+    clock: Cycle,
+    region_base: PageNum,
+}
+
+impl RandomGen {
+    pub(crate) fn next_access(&mut self) -> MemAccess {
+        let page = self.region_base.as_u64()
+            + self.rng.gen_range(0..self.spec.pages as u64) * self.spec.page_spread;
+        let block = self.rng.gen_range(0..BLOCKS_PER_PAGE as u64);
+        let addr = PhysAddr::new(page * PAGE_SIZE + block * BLOCK_SIZE);
+        emit_one(&mut self.rng, &self.spec.envelope, addr, &mut self.clock, self.spec.gap)
     }
 }
 
