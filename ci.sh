@@ -42,6 +42,15 @@ if [[ "${1:-}" != "fast" ]]; then
         --len 4000 --apps hok --windows 2,8 --out target/contention_ci.json
     cargo run --release -q -p planaria-bench --bin contention -- --check target/contention_ci.json
 
+    step "serve load (100k concurrent device sessions through planaria-serve)"
+    # The service-layer scale gate: every session is a live snapshottable
+    # state machine (SC + prefetcher + DRAM), all resident at once. Short
+    # per-session traces keep the wall clock down; the concurrency is the
+    # point. --check validates the emitted planaria-serve-v1 document.
+    cargo run --release -q -p planaria-bench --bin serve_load -- \
+        --devices 100000 --len 40 --out target/serve_load_ci.json
+    cargo run --release -q -p planaria-bench --bin serve_load -- --check target/serve_load_ci.json
+
     step "streamed replay (pack 10M accesses, replay from disk, check fingerprints)"
     # Exercises the full on-disk path at a size where materializing would
     # cost ~180 MB but the streamed replay stays flat: record a packed
@@ -76,7 +85,7 @@ fi
 
 step "markdown link check (local targets must exist)"
 link_fail=0
-for doc in README.md DESIGN.md EXPERIMENTS.md ARCHITECTURE.md; do
+for doc in README.md DESIGN.md EXPERIMENTS.md ARCHITECTURE.md SERVING.md; do
     [[ -f "$doc" ]] || { printf '  %s: file missing\n' "$doc"; link_fail=1; continue; }
     # Every local markdown link target (not http/mailto/#anchor) must exist.
     while IFS= read -r target; do

@@ -31,7 +31,8 @@
 //! must break ties on the page number so results never depend on slot
 //! assignment or probe order, i.e. on the hasher.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use planaria_common::{Bitmap16, Cycle};
 use planaria_hash::FixedIndex;
@@ -130,6 +131,17 @@ struct SlotMap {
     /// are safe to memoize because the only insertion path, [`Self::alloc`],
     /// refreshes the memo.
     memo_slot: u32,
+    /// Last-touch stamp per slot; meaningful only where `valid` is set and
+    /// only for tables that call [`Self::set_last`] (the PT evicts FIFO and
+    /// never stamps).
+    lasts: Vec<Cycle>,
+    /// Lazy min-heap over `(last, page)` touch snapshots. Every live
+    /// slot's *current* key is present (pushed by [`Self::set_last`]);
+    /// stale snapshots — superseded stamps or released pages — are
+    /// detected against `index`/`lasts` and skipped during
+    /// [`Self::oldest`]. This replaces the old linear victim scan
+    /// (formerly ~9% of the hot profile) with amortised O(log n) work.
+    heap: BinaryHeap<Reverse<(Cycle, u64)>>,
 }
 
 impl SlotMap {
@@ -141,6 +153,8 @@ impl SlotMap {
             free: (0..slots as u32).rev().collect(),
             memo_page: u64::MAX,
             memo_slot: u32::MAX,
+            lasts: vec![Cycle::ZERO; slots],
+            heap: BinaryHeap::new(),
         }
     }
 
@@ -181,23 +195,68 @@ impl SlotMap {
         Some(slot)
     }
 
-    /// The slot minimising `(lasts[slot], page)` over live slots — the
-    /// eviction total order. Ties on the timestamp break on the page
-    /// number, never on slot assignment (which depends on the hasher).
-    fn oldest(&self, lasts: &[Cycle]) -> Option<usize> {
-        let mut best: Option<(Cycle, u64, usize)> = None;
+    /// Records `now` as `slot`'s last-touch stamp and logs the new
+    /// `(last, page)` key into the lazy eviction heap. Tables that evict
+    /// by recency must call this on every allocation and touch, or
+    /// [`Self::oldest`] loses sight of the entry.
+    #[inline]
+    fn set_last(&mut self, slot: usize, now: Cycle) {
+        self.lasts[slot] = now;
+        self.heap.push(Reverse((now, self.pages[slot])));
+        // Stale snapshots accumulate between evictions; a rebuild every
+        // >= 3·slots pushes bounds the heap at 4·slots for amortised O(1)
+        // extra work per touch.
+        if self.heap.len() >= (self.pages.len() * 4).max(64) {
+            self.rebuild_heap();
+        }
+    }
+
+    /// `slot`'s last-touch stamp (only meaningful under the
+    /// [`Self::set_last`] discipline).
+    #[inline]
+    fn last(&self, slot: usize) -> Cycle {
+        self.lasts[slot]
+    }
+
+    /// Repopulates the heap with exactly the live slots' current keys.
+    fn rebuild_heap(&mut self) {
+        self.heap.clear();
         for (w, &word) in self.valid.iter().enumerate() {
             let mut bits = word;
             while bits != 0 {
                 let slot = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                let key = (lasts[slot], self.pages[slot]);
-                if best.is_none_or(|(l, p, _)| key < (l, p)) {
-                    best = Some((key.0, key.1, slot));
+                self.heap.push(Reverse((self.lasts[slot], self.pages[slot])));
+            }
+        }
+    }
+
+    /// The slot minimising `(last, page)` over live slots — the eviction
+    /// total order. Ties on the timestamp break on the page number, never
+    /// on slot assignment (which depends on the hasher).
+    ///
+    /// Pops lazily: a heap snapshot is fresh exactly when its page still
+    /// maps to a slot whose current stamp equals the snapshot — any
+    /// snapshot passing that check *is* the slot's current key, so the
+    /// first fresh pop is the true minimum.
+    fn oldest(&mut self) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        loop {
+            let Some(&Reverse((last, page))) = self.heap.peek() else {
+                // Unreachable under the set_last discipline (every live
+                // key is present), but rebuild rather than trusting it.
+                self.rebuild_heap();
+                continue;
+            };
+            match self.index.get(page) {
+                Some(slot) if self.lasts[slot as usize] == last => return Some(slot as usize),
+                _ => {
+                    self.heap.pop();
                 }
             }
         }
-        best.map(|(_, _, slot)| slot)
     }
 }
 
@@ -207,7 +266,6 @@ pub(crate) struct FilterTable {
     slots: SlotMap,
     offsets: Vec<[u8; FT_PROMOTE_COUNT]>,
     counts: Vec<u8>,
-    lasts: Vec<Cycle>,
     expiry: VecDeque<(u64, Cycle)>,
     capacity: usize,
     timeout: u64,
@@ -221,7 +279,6 @@ impl FilterTable {
             slots: SlotMap::new(capacity),
             offsets: vec![[0; FT_PROMOTE_COUNT]; capacity],
             counts: vec![0; capacity],
-            lasts: vec![Cycle::ZERO; capacity],
             expiry: VecDeque::new(),
             capacity,
             timeout,
@@ -246,7 +303,7 @@ impl FilterTable {
         self.sweep(now);
         match self.slots.get(page) {
             Some(slot) => {
-                self.lasts[slot] = now;
+                self.slots.set_last(slot, now);
                 let count = self.counts[slot] as usize;
                 let known = self.offsets[slot][..count].contains(&offset);
                 if !known {
@@ -268,7 +325,7 @@ impl FilterTable {
                 let slot = self.slots.alloc(page);
                 self.offsets[slot][0] = offset;
                 self.counts[slot] = 1;
-                self.lasts[slot] = now;
+                self.slots.set_last(slot, now);
                 self.expiry.push_back((page, now));
                 FtOutcome::Allocated
             }
@@ -285,7 +342,7 @@ impl FilterTable {
     fn evict_oldest(&mut self) {
         // Total order (last, page): equal timestamps would otherwise be
         // broken by slot assignment, i.e. by the hasher.
-        if let Some(slot) = self.slots.oldest(&self.lasts) {
+        if let Some(slot) = self.slots.oldest() {
             self.slots.release(self.slots.pages[slot]);
         }
     }
@@ -299,7 +356,7 @@ impl FilterTable {
             }
             self.expiry.pop_front();
             if let Some(slot) = self.slots.get(page) {
-                let last = self.lasts[slot];
+                let last = self.slots.last(slot);
                 if now.since(last) >= self.timeout {
                     self.slots.release(page);
                 } else {
@@ -315,7 +372,6 @@ impl FilterTable {
 pub(crate) struct AccumulationTable {
     slots: SlotMap,
     bitmaps: Vec<Bitmap16>,
-    lasts: Vec<Cycle>,
     expiry: VecDeque<(u64, Cycle)>,
     capacity: usize,
     timeout: u64,
@@ -328,7 +384,6 @@ impl AccumulationTable {
         Self {
             slots: SlotMap::new(capacity),
             bitmaps: vec![Bitmap16::EMPTY; capacity],
-            lasts: vec![Cycle::ZERO; capacity],
             expiry: VecDeque::new(),
             capacity,
             timeout,
@@ -347,7 +402,7 @@ impl AccumulationTable {
         match self.slots.get(page) {
             Some(slot) => {
                 self.bitmaps[slot].set(offset);
-                self.lasts[slot] = now;
+                self.slots.set_last(slot, now);
                 true
             }
             None => false,
@@ -374,7 +429,7 @@ impl AccumulationTable {
         if self.slots.len() >= self.capacity {
             // Total order (last, page): equal timestamps would otherwise
             // be broken by slot assignment, i.e. by the hasher.
-            if let Some(slot) = self.slots.oldest(&self.lasts) {
+            if let Some(slot) = self.slots.oldest() {
                 let victim = self.slots.pages[slot];
                 self.slots.release(victim);
                 spilled = Some((victim, self.bitmaps[slot]));
@@ -382,7 +437,7 @@ impl AccumulationTable {
         }
         let slot = self.slots.alloc(page);
         self.bitmaps[slot] = bitmap;
-        self.lasts[slot] = now;
+        self.slots.set_last(slot, now);
         self.expiry.push_back((page, now));
         spilled
     }
@@ -396,7 +451,7 @@ impl AccumulationTable {
             }
             self.expiry.pop_front();
             if let Some(slot) = self.slots.get(page) {
-                let last = self.lasts[slot];
+                let last = self.slots.last(slot);
                 if now.since(last) >= self.timeout {
                     out.push((page, self.bitmaps[slot]));
                     self.slots.release(page);
@@ -500,6 +555,25 @@ mod tests {
 
     use super::*;
 
+    /// The pre-heap victim selection, verbatim: a full scan of the valid
+    /// mask minimising `(last, page)`. Kept as the reference the lazy
+    /// heap is proven against.
+    fn oldest_linear(sm: &SlotMap) -> Option<usize> {
+        let mut best: Option<(Cycle, u64, usize)> = None;
+        for (w, &word) in sm.valid.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let slot = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let key = (sm.lasts[slot], sm.pages[slot]);
+                if best.is_none_or(|(l, p, _)| key < (l, p)) {
+                    best = Some((key.0, key.1, slot));
+                }
+            }
+        }
+        best.map(|(_, _, slot)| slot)
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -514,7 +588,6 @@ mod tests {
         ) {
             const CAP: usize = 8;
             let mut sm = SlotMap::new(CAP);
-            let mut lasts = vec![Cycle::ZERO; CAP];
             let mut model: std::collections::BTreeMap<u64, Cycle> = Default::default();
             for (i, &(page, release)) in ops.iter().enumerate() {
                 let now = Cycle::new(i as u64 + 1);
@@ -523,12 +596,12 @@ mod tests {
                     prop_assert_eq!(dropped, model.remove(&page).is_some());
                 } else if let Some(slot) = sm.get(page) {
                     prop_assert!(model.contains_key(&page), "phantom hit for page {}", page);
-                    lasts[slot] = now;
+                    sm.set_last(slot, now);
                     model.insert(page, now);
                 } else {
                     prop_assert!(!model.contains_key(&page), "lost page {}", page);
                     if sm.len() >= CAP {
-                        let victim = sm.oldest(&lasts).expect("full table has a victim");
+                        let victim = sm.oldest().expect("full table has a victim");
                         let victim_page = sm.pages[victim];
                         let model_victim = model
                             .iter()
@@ -541,7 +614,7 @@ mod tests {
                         model.remove(&victim_page);
                     }
                     let slot = sm.alloc(page);
-                    lasts[slot] = now;
+                    sm.set_last(slot, now);
                     model.insert(page, now);
                 }
                 prop_assert_eq!(sm.len(), model.len());
@@ -551,6 +624,39 @@ mod tests {
             for &page in model.keys() {
                 let slot = sm.get(page).expect("model page must be present");
                 prop_assert_eq!(sm.pages[slot], page);
+            }
+        }
+
+        /// The lazy-heap victim selection against the retired linear scan
+        /// it replaced: after every operation — touches, releases,
+        /// capacity evictions, deliberately colliding stamps — both must
+        /// name the same `(last, page)`-minimal slot. This is the proof
+        /// that swapping the scan for the heap changed no output anywhere.
+        #[test]
+        fn heap_victim_matches_linear_scan(
+            ops in proptest::collection::vec((0u64..32, any::<bool>()), 1..500),
+        ) {
+            const CAP: usize = 8;
+            let mut sm = SlotMap::new(CAP);
+            for (i, &(page, release)) in ops.iter().enumerate() {
+                // Divided stamps collide on purpose: the page tiebreak is
+                // where a subtly wrong heap order would surface.
+                let now = Cycle::new((i as u64 + 1) / 3);
+                if release {
+                    sm.release(page);
+                } else if let Some(slot) = sm.get(page) {
+                    sm.set_last(slot, now);
+                } else {
+                    if sm.len() >= CAP {
+                        let victim = sm.oldest().expect("full table has a victim");
+                        prop_assert_eq!(Some(victim), oldest_linear(&sm), "eviction victim");
+                        sm.release(sm.pages[victim]);
+                    }
+                    let slot = sm.alloc(page);
+                    sm.set_last(slot, now);
+                }
+                let heap_pick = sm.oldest();
+                prop_assert_eq!(heap_pick, oldest_linear(&sm), "victim choice diverged");
             }
         }
 

@@ -13,7 +13,12 @@ use planaria_telemetry::{Telemetry, TelemetryConfig, TelemetryReport};
 /// `out` is an out-buffer by design: `on_access` runs once per trace access
 /// (tens of millions of times per experiment) and reusing one caller-owned
 /// buffer avoids a per-access allocation.
-pub trait Prefetcher {
+///
+/// `Send` is a supertrait so a whole simulated device — `MemorySystem`
+/// plus its boxed prefetcher — can migrate between worker threads
+/// (`planaria-serve` multiplexes millions of such devices over a pool).
+/// Prefetchers are plain owned state machines, so this costs nothing.
+pub trait Prefetcher: Send {
     /// Human-readable name used in figures and tables.
     fn name(&self) -> &str;
 

@@ -60,6 +60,57 @@ fn streaming_trace_modules_lint_clean_under_the_workspace_config() {
 }
 
 #[test]
+fn serve_crate_lints_clean_under_the_workspace_config() {
+    // planaria-serve multiplexes wall-clock-free device state machines;
+    // it is NOT in the nondet allowlist (only the serve_load bench
+    // harness is, via crates/bench/), so R2 polices it, R4 demands the
+    // crate-root attributes on its lib.rs, and R8 vets its imports. Pin
+    // that the shipped sources classify correctly and fire nothing.
+    use planaria_lint::rules::{lint_source, FileMeta};
+    let root = repo_root();
+    let config = workspace_config(&root).expect("config builds");
+    assert!(
+        !config.nondet_allow.iter().any(|p| p.starts_with("crates/serve")),
+        "planaria-serve must stay under the R2 wall-clock ban"
+    );
+    for rel in [
+        "crates/serve/src/lib.rs",
+        "crates/serve/src/device.rs",
+        "crates/serve/src/service.rs",
+        "crates/serve/src/shard.rs",
+        "crates/serve/src/snapshot.rs",
+    ] {
+        let meta = FileMeta::for_path(rel).expect("serve sources classify");
+        assert_eq!(meta.is_crate_root, rel.ends_with("lib.rs"), "{rel} crate-root flag");
+        let source = std::fs::read_to_string(root.join(rel)).expect("serve source readable");
+        let vs = lint_source(&meta, &source, &config);
+        assert!(vs.is_empty(), "{rel} must lint clean: {vs:?}");
+    }
+}
+
+#[test]
+fn wall_clock_in_a_serve_path_fires_r2() {
+    // Negative control for the test above: the exact violation the serve
+    // crate is most likely to grow — measuring a pump turn with
+    // Instant::now inside the library instead of through a ShardObserver
+    // — must be caught by R2 under the workspace config.
+    use planaria_lint::rules::{lint_source, FileMeta};
+    let config = workspace_config(&repo_root()).expect("config builds");
+    let meta = FileMeta::for_path("crates/serve/src/service.rs").expect("classifies");
+    let seeded = "//! Docs.\n\
+                  /// Times one pump turn.\n\
+                  pub fn timed_pump() -> u128 {\n\
+                  \x20   let t0 = std::time::Instant::now();\n\
+                  \x20   t0.elapsed().as_nanos()\n\
+                  }\n";
+    let vs = lint_source(&meta, seeded, &config);
+    assert!(
+        vs.iter().any(|v| v.rule == "R2" && v.message.contains("Instant::now")),
+        "seeded wall-clock read must fire R2, got: {vs:?}"
+    );
+}
+
+#[test]
 fn workspace_config_learns_member_crate_idents() {
     let config = workspace_config(&repo_root()).expect("config builds");
     for ident in ["planaria_common", "planaria_hash", "planaria_lint", "serde", "rand"] {

@@ -38,6 +38,12 @@ pub enum PrefetcherKind {
     PlanariaTlpIssue,
     /// Planaria with the parallel coordinator (both issue every trigger).
     PlanariaParallel,
+    /// Full Planaria with fleet-scale table sizing: the same SLP + TLP +
+    /// coordinator pipeline, but metadata tables shrunk ~100x so hundreds
+    /// of thousands of concurrently *served* device instances fit in
+    /// memory (`planaria-serve`'s `serve_load` harness). Not a figure
+    /// configuration — headline results always use [`Self::Planaria`].
+    PlanariaLean,
 }
 
 impl PrefetcherKind {
@@ -65,6 +71,14 @@ impl PrefetcherKind {
             PrefetcherKind::PlanariaParallel => {
                 Box::new(Planaria::new(PlanariaConfig::default().parallel()))
             }
+            PrefetcherKind::PlanariaLean => {
+                let mut cfg = PlanariaConfig::default();
+                cfg.slp.ft_entries = 16;
+                cfg.slp.at_entries = 32;
+                cfg.slp.pt_entries = 128;
+                cfg.tlp.entries = 32;
+                Box::new(Planaria::new(cfg))
+            }
         }
     }
 
@@ -82,6 +96,7 @@ impl PrefetcherKind {
             PrefetcherKind::PlanariaSlpIssue => "Planaria(SLP)",
             PrefetcherKind::PlanariaTlpIssue => "Planaria(TLP)",
             PrefetcherKind::PlanariaParallel => "Planaria(parallel)",
+            PrefetcherKind::PlanariaLean => "Planaria(lean)",
         }
     }
 }

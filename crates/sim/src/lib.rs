@@ -57,7 +57,9 @@ pub use experiment::PrefetcherKind;
 pub use metrics::{DeviceStat, SimResult, TrafficBreakdown};
 pub use runner::{Cell, Job, ProgressEvent, RunReport, Runner, StreamFactory, TraceSource};
 pub use system::{GovernorConfig, MemorySystem, SystemConfig, STREAM_CHUNK};
-pub use traffic::{ClosedLoopReport, DeviceOutcome, TrafficConfig, TrafficModel};
+pub use traffic::{
+    ClosedLoopDriver, ClosedLoopReport, DeviceOutcome, Pump, TrafficConfig, TrafficModel,
+};
 
 // Observability layer: re-exported so simulator users can configure
 // capture and consume reports without naming the telemetry crate.

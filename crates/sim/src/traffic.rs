@@ -21,6 +21,22 @@
 //! bit-identical to the open-loop simulator — the regression tests pin
 //! this, which is what keeps the default open-loop figures trustworthy.
 //!
+//! # Batch vs. incremental driving
+//!
+//! [`TrafficModel`] is the batch entry point: it owns the whole run from
+//! stream to finished report. Underneath it sits [`ClosedLoopDriver`], a
+//! *resumable* form of the same state machine: callers [`offer`] accesses,
+//! [`pump`] the simulation forward under an iteration budget, and are told
+//! via [`Pump::NeedInput`] exactly when more input could change the next
+//! injection. Because the driver only ever consumes input at those
+//! explicit boundaries — the same lazy pull-horizon rule the batch loop
+//! uses — a run produces bit-identical results no matter how its input is
+//! chunked or how often pumping pauses. `planaria-serve` builds on this to
+//! multiplex many independent device sessions over a worker pool.
+//!
+//! [`offer`]: ClosedLoopDriver::offer
+//! [`pump`]: ClosedLoopDriver::pump
+//!
 //! # Examples
 //!
 //! ```
@@ -130,6 +146,7 @@ pub struct ClosedLoopReport {
 ///
 /// One slot exists per [`DeviceId`]; slots whose device never appears in
 /// the source stream stay inert (`first_arrival` remains `None`).
+#[derive(Debug)]
 struct DevState {
     /// Demuxed-but-not-yet-injected accesses, as `(stream position,
     /// access)` — the position is the tiebreak that reproduces the
@@ -177,41 +194,384 @@ impl DevState {
     }
 }
 
-/// Demux cursor over the source stream: pulls [`PULL_CHUNK`]-sized chunks
-/// and routes each access to its device's buffer, tagged with its stream
-/// position.
-struct Demux<'a> {
-    stream: &'a mut dyn AccessStream,
-    chunk: Vec<MemAccess>,
-    /// Stream position of the next access to pull.
-    seq: u64,
-    /// Recorded cycle of the last pulled access; every not-yet-pulled
-    /// access arrives at or after this (streams are cycle-sorted), which
-    /// is what makes the bounded pull horizon sound.
-    last_cycle: Cycle,
-    exhausted: bool,
+/// Why [`ClosedLoopDriver::pump`] returned control to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pump {
+    /// More input could change the next injection: every buffered access
+    /// near the horizon has been considered, the source is not closed, and
+    /// the selection cannot be finalised until either more accesses are
+    /// [`offer`]ed or the driver is [`close`]d.
+    ///
+    /// [`offer`]: ClosedLoopDriver::offer
+    /// [`close`]: ClosedLoopDriver::close
+    NeedInput,
+    /// The iteration budget ran out mid-run. Pump again to continue;
+    /// pausing here never changes results.
+    Budget,
+    /// The driver is closed and every buffered access has been injected.
+    /// The session is ready for [`ClosedLoopDriver::finish`].
+    Drained,
 }
 
-impl Demux<'_> {
-    /// Pulls one chunk into the device buffers; sets `exhausted` at
-    /// end-of-stream.
-    fn pull(&mut self, devs: &mut [DevState]) {
-        if self.stream.next_chunk(PULL_CHUNK, &mut self.chunk) == 0 {
-            self.exhausted = true;
-            return;
+/// Resumable core of the closed-loop traffic model.
+///
+/// The driver demuxes a cycle-sorted access sequence into per-device
+/// bounded windows and injects into a [`MemorySystem`] under virtual time,
+/// exactly like [`TrafficModel`] — but input arrives by [`offer`] and the
+/// simulation advances by [`pump`] under an explicit iteration budget, so
+/// a caller can interleave many independent sessions (the `planaria-serve`
+/// use case) or feed from any source.
+///
+/// # Determinism
+///
+/// The driver consumes buffered input only when pumping reports
+/// [`Pump::NeedInput`], and selection re-runs from scratch after every
+/// refill, so the final run is a pure function of the offered access
+/// sequence: chunk sizes, budget pauses, and offer/pump interleavings are
+/// all invisible. [`TrafficModel`] is a thin wrapper over this driver, and
+/// the streaming regression tests pin the equivalence.
+///
+/// [`offer`]: ClosedLoopDriver::offer
+/// [`pump`]: ClosedLoopDriver::pump
+///
+/// # Examples
+///
+/// ```
+/// use planaria_core::NullPrefetcher;
+/// use planaria_sim::{ClosedLoopDriver, MemorySystem, Pump, SystemConfig, TrafficConfig};
+/// use planaria_trace::apps::{profile, AppId};
+///
+/// let trace = profile(AppId::HoK).scaled(500).build();
+/// let mut sys = MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()));
+/// let mut driver = ClosedLoopDriver::new(TrafficConfig::new(4));
+///
+/// for access in trace.accesses() {
+///     driver.offer(access);
+/// }
+/// driver.close();
+/// while driver.pump(&mut sys, 64) != Pump::Drained {}
+/// let (result, report, _telemetry) = driver.finish(sys, "hok");
+///
+/// assert_eq!(result.accesses, trace.len() as u64);
+/// assert_eq!(report.window, 4);
+/// ```
+#[derive(Debug)]
+pub struct ClosedLoopDriver {
+    cfg: TrafficConfig,
+    devs: Vec<DevState>,
+    /// Demand misses waiting on a DRAM fill: block number -> the local
+    /// dev-slot of every waiting injection (one entry per merged miss).
+    waiting: FastHashMap<u64, Vec<usize>>,
+    /// SC hits complete after the fixed lookup latency.
+    hit_heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Scratch buffer for draining the completion log.
+    log: Vec<(u64, Cycle)>,
+    clock: Cycle,
+    /// Stream position of the next offered access (injection tiebreak).
+    seq: u64,
+    /// Recorded cycle of the last offered access; every not-yet-offered
+    /// access arrives at or after this (sources are cycle-sorted), which
+    /// is what makes the bounded pull horizon sound.
+    last_cycle: Cycle,
+    /// No further input will arrive ([`ClosedLoopDriver::close`]).
+    closed: bool,
+    /// The clock has been initialised from the first arrival.
+    primed: bool,
+    /// The memory system's completion log has been enabled.
+    enabled: bool,
+    /// Offered-but-not-yet-injected accesses across all devices.
+    buffered: usize,
+    /// Total accesses injected so far.
+    injected: u64,
+}
+
+impl ClosedLoopDriver {
+    /// A fresh driver with the given closed-loop configuration.
+    pub fn new(cfg: TrafficConfig) -> Self {
+        Self {
+            cfg,
+            devs: (0..DeviceId::COUNT).map(|_| DevState::new()).collect(),
+            waiting: map_with_capacity(256),
+            hit_heap: BinaryHeap::new(),
+            log: Vec::new(),
+            clock: Cycle::ZERO,
+            seq: 0,
+            last_cycle: Cycle::ZERO,
+            closed: false,
+            primed: false,
+            enabled: false,
+            buffered: 0,
+            injected: 0,
         }
-        for a in &self.chunk {
-            let d = &mut devs[a.device.index()];
-            if d.first_arrival.is_none() {
-                d.first_arrival = Some(a.cycle);
-                d.next_ready = a.cycle;
+    }
+
+    /// Queues one access for injection, demuxing it to its device's
+    /// buffer. Accesses must be offered in stream order (cycle-sorted;
+    /// equal cycles keep their offer order), and offering after
+    /// [`close`](ClosedLoopDriver::close) is a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver is already closed.
+    pub fn offer(&mut self, a: &MemAccess) {
+        assert!(!self.closed, "offer after close");
+        debug_assert!(a.cycle >= self.last_cycle, "accesses must be offered cycle-sorted");
+        let d = &mut self.devs[a.device.index()];
+        if d.first_arrival.is_none() {
+            d.first_arrival = Some(a.cycle);
+            d.next_ready = a.cycle;
+        }
+        d.last_arrival = a.cycle;
+        d.seen += 1;
+        d.buf.push_back((self.seq, *a));
+        self.seq += 1;
+        self.last_cycle = a.cycle;
+        self.buffered += 1;
+    }
+
+    /// Declares end-of-input: no further [`offer`](ClosedLoopDriver::offer)
+    /// calls will arrive. Idempotent. Pumping after close drains every
+    /// buffered access and then reports [`Pump::Drained`].
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Whether [`close`](ClosedLoopDriver::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Offered-but-not-yet-injected accesses across all devices.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Total accesses injected into the memory system so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// The driver's virtual clock (the cycle of the most recent injection
+    /// or stall step). Purely simulated time — the driver never reads a
+    /// wall clock.
+    pub fn now(&self) -> Cycle {
+        self.clock
+    }
+
+    /// Advances the simulation by at most `budget` iterations (an
+    /// iteration is one injection or one stall step of the virtual
+    /// clock). Returns why control came back; see [`Pump`]. Re-pumping
+    /// after [`Pump::NeedInput`] or [`Pump::Budget`] resumes exactly
+    /// where the run left off.
+    pub fn pump(&mut self, sys: &mut MemorySystem, mut budget: usize) -> Pump {
+        if !self.enabled {
+            sys.enable_completion_log();
+            self.enabled = true;
+        }
+        if !self.primed {
+            // Prime the clock from the first recorded arrival, exactly
+            // like the batch model does after its first demux pull.
+            if self.buffered == 0 {
+                if !self.closed {
+                    return Pump::NeedInput;
+                }
+                self.primed = true;
+                return Pump::Drained;
             }
-            d.last_arrival = a.cycle;
-            d.seen += 1;
-            d.buf.push_back((self.seq, *a));
-            self.seq += 1;
+            self.clock =
+                self.devs.iter().filter_map(|d| d.first_arrival).min().unwrap_or(Cycle::ZERO);
+            self.primed = true;
         }
-        self.last_cycle = self.chunk.last().expect("chunk non-empty").cycle;
+        let sc_hit_latency = sys.sc_hit_latency();
+
+        loop {
+            if budget == 0 {
+                return Pump::Budget;
+            }
+            // Retire everything the memory system completed up to `clock`.
+            // Re-entering after a pause re-runs this as a no-op (no time
+            // passed, nothing new completed).
+            sys.drain_completion_log(&mut self.log);
+            for (block, finish) in self.log.drain(..) {
+                if let Some(ws) = self.waiting.remove(&block) {
+                    for slot in ws {
+                        self.devs[slot].outstanding -= 1;
+                        self.devs[slot].last_completion =
+                            self.devs[slot].last_completion.max(finish);
+                    }
+                }
+            }
+            while let Some(&Reverse((finish, slot))) = self.hit_heap.peek() {
+                if finish > self.clock.as_u64() {
+                    break;
+                }
+                self.hit_heap.pop();
+                self.devs[slot].outstanding -= 1;
+                self.devs[slot].last_completion =
+                    self.devs[slot].last_completion.max(Cycle::new(finish));
+            }
+
+            // The next injection: among devices with a buffered access and
+            // a free window slot, the earliest (ready time, stream
+            // position) — the tiebreak reproduces the trace's stable sort
+            // order, so an infinite window degenerates to exact open-loop
+            // replay. The selection is only final once no not-yet-offered
+            // access could beat the candidate: a device never injects
+            // before its recorded arrival, unseen arrivals are at or after
+            // `last_cycle`, and ties go to the lower stream position, so
+            // the caller must refill until `last_cycle` passes the
+            // candidate's injection time (or close). Selection is a pure
+            // function of buffered state, so it simply re-runs after every
+            // refill.
+            let mut candidate: Option<(Cycle, u64, usize)> = None;
+            let mut any_stalled = false;
+            for (slot, d) in self.devs.iter_mut().enumerate() {
+                let Some(&(seq, front)) = d.buf.front() else {
+                    // Empty buffer: if the device is window-full it may
+                    // still have unseen input left, so treat it as
+                    // stalled; otherwise any unseen access of its loses
+                    // the selection anyway (it arrives at or after
+                    // `last_cycle`, past the pull horizon).
+                    if !self.closed && d.outstanding >= self.cfg.window {
+                        any_stalled = true;
+                    }
+                    continue;
+                };
+                if d.outstanding >= self.cfg.window {
+                    any_stalled = true;
+                    continue;
+                }
+                if d.need_gap {
+                    // Preserve the recorded think time to this access.
+                    d.next_ready = d.last_inject + front.cycle.since(d.last_recorded);
+                    d.need_gap = false;
+                }
+                let t = d.next_ready.max(self.clock);
+                if candidate.is_none_or(|c| (c.0, c.1) > (t, seq)) {
+                    candidate = Some((t, seq, slot));
+                }
+            }
+            let bound = match candidate {
+                Some((t, _, _)) => t,
+                None => self.clock + TIME_STEP,
+            };
+            if !self.closed && self.last_cycle <= bound {
+                return Pump::NeedInput;
+            }
+
+            let Some((t, _, slot)) = candidate else {
+                if self.closed && self.buffered == 0 {
+                    return Pump::Drained; // fully injected; tail drains in finish
+                }
+                // Every remaining device is window-stalled: let time pass
+                // until completions free a slot.
+                self.clock += TIME_STEP;
+                sys.advance(self.clock);
+                budget -= 1;
+                continue;
+            };
+
+            if t > self.clock {
+                if any_stalled {
+                    // A stalled device freed by an earlier completion could
+                    // preempt this candidate, so approach `t` in bounded
+                    // steps, retiring completions along the way.
+                    self.clock = t.min(self.clock + TIME_STEP);
+                    sys.advance(self.clock);
+                    budget -= 1;
+                    continue;
+                }
+                // Nobody is stalled, so no completion can change the
+                // candidate: jump straight to the injection time. The
+                // system is *not* advanced here — `process` pumps the DRAM
+                // at the access cycle itself, exactly as open loop does.
+                self.clock = t;
+            }
+
+            let (_, recorded) = self.devs[slot].buf.pop_front().expect("candidate head present");
+            self.buffered -= 1;
+            let access = MemAccess { cycle: self.clock, ..recorded };
+            let hit = sys.process_tracked(&access);
+            let d = &mut self.devs[slot];
+            d.outstanding += 1;
+            d.last_inject = self.clock;
+            d.last_recorded = recorded.cycle;
+            d.need_gap = true;
+            if hit {
+                self.hit_heap.push(Reverse((self.clock.as_u64() + sc_hit_latency, slot)));
+            } else {
+                self.waiting.entry(access.addr.block_number()).or_default().push(slot);
+            }
+            self.injected += 1;
+            budget -= 1;
+        }
+    }
+
+    /// Finalises a drained session: settles in-flight requests, tears the
+    /// memory system down, and derives the per-device closed-loop report.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the driver was closed and pumped to
+    /// [`Pump::Drained`] first.
+    pub fn finish(
+        mut self,
+        sys: MemorySystem,
+        workload: &str,
+    ) -> (SimResult, ClosedLoopReport, TelemetryReport) {
+        assert!(
+            self.closed && self.buffered == 0,
+            "finish requires a closed driver pumped to Drained"
+        );
+        let sc_hit_latency = sys.sc_hit_latency();
+        // Settle what is still in flight: hits complete unconditionally,
+        // misses at whatever completion time the final DRAM drain reports.
+        while let Some(Reverse((finish, slot))) = self.hit_heap.pop() {
+            self.devs[slot].outstanding -= 1;
+            self.devs[slot].last_completion =
+                self.devs[slot].last_completion.max(Cycle::new(finish));
+        }
+        let (result, _, telemetry, tail) = sys.finish_parts_logged(workload);
+        for (block, finish) in tail {
+            if let Some(ws) = self.waiting.remove(&block) {
+                for slot in ws {
+                    self.devs[slot].outstanding -= 1;
+                    self.devs[slot].last_completion = self.devs[slot].last_completion.max(finish);
+                }
+            }
+        }
+        debug_assert!(self.devs.iter().all(|d| d.outstanding == 0), "all requests must retire");
+
+        let outcomes: Vec<DeviceOutcome> = self
+            .devs
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, d)| {
+                let first_arrival = d.first_arrival?;
+                let open_loop_span = (d.last_arrival + sc_hit_latency).since(first_arrival).max(1);
+                let derived_span = d.last_completion.since(first_arrival).max(1);
+                Some(DeviceOutcome {
+                    device: DeviceId::from_index(slot).label().to_string(),
+                    accesses: d.seen,
+                    open_loop_finish: d.last_arrival.as_u64(),
+                    derived_finish: d.last_completion.as_u64(),
+                    open_loop_span,
+                    derived_span,
+                    slowdown: derived_span as f64 / open_loop_span as f64,
+                })
+            })
+            .collect();
+        let unfairness = {
+            let max = outcomes.iter().map(|o| o.slowdown).fold(f64::MIN, f64::max);
+            let min = outcomes.iter().map(|o| o.slowdown).fold(f64::MAX, f64::min);
+            if outcomes.len() < 2 || min <= 0.0 {
+                1.0
+            } else {
+                max / min
+            }
+        };
+        let report = ClosedLoopReport { window: self.cfg.window, devices: outcomes, unfairness };
+        (result, report, telemetry)
     }
 }
 
@@ -276,186 +636,30 @@ impl TrafficModel {
         mut sys: MemorySystem,
         stream: &mut dyn AccessStream,
     ) -> (SimResult, ClosedLoopReport, TelemetryReport) {
-        sys.enable_completion_log();
-        let sc_hit_latency = sys.sc_hit_latency();
         let name = stream.name().to_string();
-
-        let mut devs: Vec<DevState> = (0..DeviceId::COUNT).map(|_| DevState::new()).collect();
-        let mut demux =
-            Demux { stream, chunk: Vec::new(), seq: 0, last_cycle: Cycle::ZERO, exhausted: false };
-        // Prime the buffers so the clock starts at the first recorded
-        // arrival, exactly like the materialized model.
-        demux.pull(&mut devs);
-        let mut clock = devs.iter().filter_map(|d| d.first_arrival).min().unwrap_or(Cycle::ZERO);
-        // Demand misses waiting on a DRAM fill: block number -> the local
-        // dev-slot of every waiting injection (one entry per merged miss).
-        let mut waiting: FastHashMap<u64, Vec<usize>> = map_with_capacity(256);
-        // SC hits complete after the fixed lookup latency.
-        let mut hit_heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        let mut log: Vec<(u64, Cycle)> = Vec::new();
-
+        let mut driver = ClosedLoopDriver::new(self.cfg);
+        let mut chunk: Vec<MemAccess> = Vec::new();
+        let mut pulled: u64 = 0;
         loop {
-            // Retire everything the memory system completed up to `clock`.
-            sys.drain_completion_log(&mut log);
-            for (block, finish) in log.drain(..) {
-                if let Some(ws) = waiting.remove(&block) {
-                    for slot in ws {
-                        devs[slot].outstanding -= 1;
-                        devs[slot].last_completion = devs[slot].last_completion.max(finish);
-                    }
-                }
-            }
-            while let Some(&Reverse((finish, slot))) = hit_heap.peek() {
-                if finish > clock.as_u64() {
-                    break;
-                }
-                hit_heap.pop();
-                devs[slot].outstanding -= 1;
-                devs[slot].last_completion = devs[slot].last_completion.max(Cycle::new(finish));
-            }
-
-            // The next injection: among devices with a buffered access and
-            // a free window slot, the earliest (ready time, stream
-            // position) — the tiebreak reproduces the trace's stable sort
-            // order, so an infinite window degenerates to exact open-loop
-            // replay. Not-yet-demuxed accesses are pulled until none could
-            // beat the current candidate: a device never injects before
-            // its recorded arrival, unseen arrivals are at or after
-            // `demux.last_cycle`, and ties go to the lower stream
-            // position, so once `last_cycle` passes the candidate's
-            // injection time the selection is final.
-            let mut candidate: Option<(Cycle, u64, usize)>;
-            let mut any_stalled;
-            loop {
-                candidate = None;
-                any_stalled = false;
-                for (slot, d) in devs.iter_mut().enumerate() {
-                    let Some(&(seq, front)) = d.buf.front() else {
-                        // Empty buffer: if the device is window-full it may
-                        // still have undemuxed stream left, so treat it as
-                        // stalled; otherwise any unseen access of its loses
-                        // the selection anyway (it arrives at or after
-                        // `last_cycle`, past the pull horizon).
-                        if !demux.exhausted && d.outstanding >= self.cfg.window {
-                            any_stalled = true;
+            match driver.pump(&mut sys, usize::MAX) {
+                Pump::NeedInput => {
+                    if stream.next_chunk(PULL_CHUNK, &mut chunk) == 0 {
+                        if let Some(e) = stream.error() {
+                            panic!("trace stream {name:?} failed after {pulled} accesses: {e}");
                         }
-                        continue;
-                    };
-                    if d.outstanding >= self.cfg.window {
-                        any_stalled = true;
-                        continue;
-                    }
-                    if d.need_gap {
-                        // Preserve the recorded think time to this access.
-                        d.next_ready = d.last_inject + front.cycle.since(d.last_recorded);
-                        d.need_gap = false;
-                    }
-                    let t = d.next_ready.max(clock);
-                    if candidate.is_none_or(|c| (c.0, c.1) > (t, seq)) {
-                        candidate = Some((t, seq, slot));
+                        driver.close();
+                    } else {
+                        pulled += chunk.len() as u64;
+                        for a in &chunk {
+                            driver.offer(a);
+                        }
                     }
                 }
-                let bound = match candidate {
-                    Some((t, _, _)) => t,
-                    None => clock + TIME_STEP,
-                };
-                if demux.exhausted || demux.last_cycle > bound {
-                    break;
-                }
-                demux.pull(&mut devs);
-            }
-
-            let Some((t, _, slot)) = candidate else {
-                if demux.exhausted && devs.iter().all(|d| d.buf.is_empty()) {
-                    break; // every stream exhausted; tail drains below
-                }
-                // Every remaining device is window-stalled: let time pass
-                // until completions free a slot.
-                clock += TIME_STEP;
-                sys.advance(clock);
-                continue;
-            };
-
-            if t > clock {
-                if any_stalled {
-                    // A stalled device freed by an earlier completion could
-                    // preempt this candidate, so approach `t` in bounded
-                    // steps, retiring completions along the way.
-                    clock = t.min(clock + TIME_STEP);
-                    sys.advance(clock);
-                    continue;
-                }
-                // Nobody is stalled, so no completion can change the
-                // candidate: jump straight to the injection time. The
-                // system is *not* advanced here — `process` pumps the DRAM
-                // at the access cycle itself, exactly as open loop does.
-                clock = t;
-            }
-
-            let (_, recorded) = devs[slot].buf.pop_front().expect("candidate head present");
-            let access = MemAccess { cycle: clock, ..recorded };
-            let hit = sys.process_tracked(&access);
-            let d = &mut devs[slot];
-            d.outstanding += 1;
-            d.last_inject = clock;
-            d.last_recorded = recorded.cycle;
-            d.need_gap = true;
-            if hit {
-                hit_heap.push(Reverse((clock.as_u64() + sc_hit_latency, slot)));
-            } else {
-                waiting.entry(access.addr.block_number()).or_default().push(slot);
+                Pump::Budget => {}
+                Pump::Drained => break,
             }
         }
-        if let Some(e) = demux.stream.error() {
-            panic!("trace stream {name:?} failed after {} accesses: {e}", demux.seq);
-        }
-
-        // Settle what is still in flight: hits complete unconditionally,
-        // misses at whatever completion time the final DRAM drain reports.
-        while let Some(Reverse((finish, slot))) = hit_heap.pop() {
-            devs[slot].outstanding -= 1;
-            devs[slot].last_completion = devs[slot].last_completion.max(Cycle::new(finish));
-        }
-        let (result, _, telemetry, tail) = sys.finish_parts_logged(&name);
-        for (block, finish) in tail {
-            if let Some(ws) = waiting.remove(&block) {
-                for slot in ws {
-                    devs[slot].outstanding -= 1;
-                    devs[slot].last_completion = devs[slot].last_completion.max(finish);
-                }
-            }
-        }
-        debug_assert!(devs.iter().all(|d| d.outstanding == 0), "all requests must retire");
-
-        let outcomes: Vec<DeviceOutcome> = devs
-            .iter()
-            .enumerate()
-            .filter_map(|(slot, d)| {
-                let first_arrival = d.first_arrival?;
-                let open_loop_span = (d.last_arrival + sc_hit_latency).since(first_arrival).max(1);
-                let derived_span = d.last_completion.since(first_arrival).max(1);
-                Some(DeviceOutcome {
-                    device: DeviceId::from_index(slot).label().to_string(),
-                    accesses: d.seen,
-                    open_loop_finish: d.last_arrival.as_u64(),
-                    derived_finish: d.last_completion.as_u64(),
-                    open_loop_span,
-                    derived_span,
-                    slowdown: derived_span as f64 / open_loop_span as f64,
-                })
-            })
-            .collect();
-        let unfairness = {
-            let max = outcomes.iter().map(|o| o.slowdown).fold(f64::MIN, f64::max);
-            let min = outcomes.iter().map(|o| o.slowdown).fold(f64::MAX, f64::min);
-            if outcomes.len() < 2 || min <= 0.0 {
-                1.0
-            } else {
-                max / min
-            }
-        };
-        let report = ClosedLoopReport { window: self.cfg.window, devices: outcomes, unfairness };
-        (result, report, telemetry)
+        driver.finish(sys, &name)
     }
 }
 
@@ -516,5 +720,43 @@ mod tests {
             TrafficModel::new(TrafficConfig::new(2)).run_stream(mk(), &mut spec.stream());
         assert_eq!(mat, str_r, "closed-loop result diverged between streamed and materialized");
         assert_eq!(mat_report, str_report);
+    }
+
+    #[test]
+    fn driver_is_chunking_and_budget_invariant() {
+        // The resumable driver must produce the batch model's result no
+        // matter how its input is chunked or how tightly pumping is
+        // budgeted — that independence is what makes served sessions and
+        // snapshot replay bit-identical to uninterrupted runs.
+        let trace = small_trace();
+        let mk = || MemorySystem::new(SystemConfig::default(), Box::new(NullPrefetcher::new()));
+        let (batch, batch_report, _) =
+            TrafficModel::new(TrafficConfig::new(2)).run_telemetry(mk(), &trace);
+
+        for (chunk, budget) in [(1usize, 1usize), (7, 3), (4096, usize::MAX)] {
+            let mut sys = mk();
+            let mut driver = ClosedLoopDriver::new(TrafficConfig::new(2));
+            let mut next = 0usize;
+            loop {
+                match driver.pump(&mut sys, budget) {
+                    Pump::NeedInput => {
+                        if next >= trace.len() {
+                            driver.close();
+                        } else {
+                            let end = (next + chunk).min(trace.len());
+                            for a in &trace.accesses()[next..end] {
+                                driver.offer(a);
+                            }
+                            next = end;
+                        }
+                    }
+                    Pump::Budget => {}
+                    Pump::Drained => break,
+                }
+            }
+            let (r, report, _) = driver.finish(sys, trace.name());
+            assert_eq!(batch, r, "driver diverged at chunk={chunk} budget={budget}");
+            assert_eq!(batch_report, report, "report diverged at chunk={chunk} budget={budget}");
+        }
     }
 }
