@@ -65,9 +65,11 @@ if [[ "${1:-}" != "fast" ]]; then
 fi
 
 step "planaria-lint --check (determinism / hot-path / API-hygiene invariants)"
+lint_start=$(date +%s%N)
 cargo run -q -p planaria-lint -- --check --out target/lint_report.json
-# The emitted report must itself conform to the planaria-lint-v1 schema.
+# The emitted report must itself conform to the planaria-lint-v2 schema.
 cargo run -q -p planaria-lint -- --validate target/lint_report.json
+lint_ms=$(( ( $(date +%s%N) - lint_start ) / 1000000 ))
 
 step "planaria-lint negative test (a seeded violation must fail --check)"
 neg_root=target/lint_negative
@@ -80,6 +82,35 @@ printf '//! Demo.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n/// Stub.\np
     > "$neg_root/crates/demo/src/lib.rs"
 if cargo run -q -p planaria-lint -- --root "$neg_root" --check > /dev/null 2>&1; then
     echo "planaria-lint negative test failed: seeded violation passed --check"
+    exit 1
+fi
+
+step "planaria-lint R9 negative test (an *indirect* wall-clock call must fail --check)"
+# driver.rs never names a clock — the token-level R2 cannot see it. Only
+# the call-graph pass (R9) can taint drive() through crate::clock.
+r9_root=target/lint_negative_r9
+rm -rf "$r9_root"
+mkdir -p "$r9_root/crates/demo/src"
+printf '[workspace]\nmembers = ["crates/demo"]\n' > "$r9_root/Cargo.toml"
+printf '[package]\nname = "demo"\nversion = "0.1.0"\nedition = "2021"\n' \
+    > "$r9_root/crates/demo/Cargo.toml"
+printf '//! Demo.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub mod clock;\npub mod driver;\n' \
+    > "$r9_root/crates/demo/src/lib.rs"
+printf '//! Clock.\n/// Direct wall-clock read.\npub fn read_clock() -> u64 {\n    let _ = std::time::Instant::now();\n    0\n}\n' \
+    > "$r9_root/crates/demo/src/clock.rs"
+printf '//! Driver.\n/// Indirect: reaches the clock only through a call.\npub fn drive() -> u64 {\n    crate::clock::read_clock()\n}\n' \
+    > "$r9_root/crates/demo/src/driver.rs"
+if cargo run -q -p planaria-lint -- --root "$r9_root" --check \
+        --out target/lint_negative_r9.json > /dev/null 2>&1; then
+    echo "planaria-lint R9 negative test failed: indirect wall clock passed --check"
+    exit 1
+fi
+if ! grep -q '"rule": "R9"' target/lint_negative_r9.json; then
+    echo "planaria-lint R9 negative test failed: no R9 finding in the report"
+    exit 1
+fi
+if ! grep -q 'driver.rs' target/lint_negative_r9.json; then
+    echo "planaria-lint R9 negative test failed: R9 did not taint driver.rs"
     exit 1
 fi
 
@@ -110,4 +141,4 @@ cargo fmt --all --check
 step "cargo doc (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-step "ci.sh: all green"
+step "ci.sh: all green (planaria-lint --check wall-clock: ${lint_ms} ms)"

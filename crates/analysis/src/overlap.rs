@@ -52,10 +52,16 @@ pub fn overlap_rate(trace: &Trace) -> OverlapReport {
             .push(a.addr.block_index().as_usize() as u8);
     }
 
+    // Fix the page order before accumulating: float addition is not
+    // associative, so iterating the hash map directly would tie the
+    // reported mean to the hasher.
+    let mut ordered: Vec<(u64, Vec<u8>)> = sequences.into_iter().collect();
+    ordered.sort_unstable_by_key(|(page, _)| *page);
+
     let mut pair_sum = 0.0;
     let mut pairs = 0usize;
     let mut pages = 0usize;
-    for seq in sequences.values() {
+    for (_, seq) in &ordered {
         // Step 1: window size = the page's typical footprint size.
         let mut distinct = [false; 64];
         for &b in seq {

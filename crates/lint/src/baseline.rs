@@ -10,15 +10,19 @@
 
 use planaria_common::json::{self, Value};
 
-use crate::rules::Violation;
+use crate::rules::{Violation, RULES};
 
 /// Schema identifier of the baseline document.
-pub const BASELINE_SCHEMA: &str = "planaria-lint-baseline-v1";
+///
+/// v2 accompanies the `planaria-lint-v2` report: entries may now name
+/// the flow-aware rules R9–R12, and unknown rule ids are rejected at
+/// parse time (a typo'd id would otherwise be a permanently-stale entry).
+pub const BASELINE_SCHEMA: &str = "planaria-lint-baseline-v2";
 
 /// One grandfathered site.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BaselineEntry {
-    /// Rule id the site is excused from (`R1`…`R8`).
+    /// Rule id the site is excused from (`R1`…`R12`).
     pub rule: String,
     /// Workspace-relative file path.
     pub file: String,
@@ -41,7 +45,8 @@ impl Baseline {
     /// # Errors
     ///
     /// Rejects malformed JSON, a wrong/missing schema id, non-string
-    /// fields and — deliberately — empty justifications.
+    /// fields, unknown rule ids and — deliberately — empty
+    /// justifications.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let doc = json::parse(text).map_err(|e| format!("baseline: {e}"))?;
         match doc.get("schema").and_then(Value::as_str) {
@@ -70,6 +75,13 @@ impl Baseline {
                 pattern: field("pattern")?,
                 justification: field("justification")?,
             };
+            if !RULES.iter().any(|r| r.id == entry.rule) {
+                return Err(format!(
+                    "baseline: entry {i} names unknown rule {:?} (known: R1–R{})",
+                    entry.rule,
+                    RULES.len()
+                ));
+            }
             if entry.justification.trim().is_empty() {
                 return Err(format!(
                     "baseline: entry {i} ({} in {}) has an empty justification — every \
@@ -101,7 +113,7 @@ mod tests {
     #[test]
     fn empty_baseline_parses() {
         let b = Baseline::parse(
-            "{\n  \"schema\": \"planaria-lint-baseline-v1\",\n  \"entries\": []\n}\n",
+            "{\n  \"schema\": \"planaria-lint-baseline-v2\",\n  \"entries\": []\n}\n",
         )
         .expect("valid baseline");
         assert!(b.entries.is_empty());
@@ -109,7 +121,7 @@ mod tests {
 
     #[test]
     fn empty_justification_is_rejected() {
-        let text = r#"{"schema": "planaria-lint-baseline-v1", "entries": [
+        let text = r#"{"schema": "planaria-lint-baseline-v2", "entries": [
             {"rule": "R2", "file": "crates/x.rs", "pattern": "Instant", "justification": " "}
         ]}"#;
         let err = Baseline::parse(text).expect_err("must reject");
@@ -118,6 +130,27 @@ mod tests {
 
     #[test]
     fn wrong_schema_is_rejected() {
+        // The v1 schema id is deliberately not accepted: the v2 rule set
+        // changes what entries can mean, so old files must be re-reviewed.
         assert!(Baseline::parse("{\"schema\": \"nope\", \"entries\": []}").is_err());
+        assert!(Baseline::parse("{\"schema\": \"planaria-lint-baseline-v1\", \"entries\": []}")
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_rule_ids_are_rejected() {
+        for bad in ["R0", "R13", "R99", "X2"] {
+            let text = format!(
+                r#"{{"schema": "planaria-lint-baseline-v2", "entries": [
+                    {{"rule": "{bad}", "file": "f.rs", "pattern": "x", "justification": "y"}}
+                ]}}"#
+            );
+            let err = Baseline::parse(&text).expect_err("must reject");
+            assert!(err.contains("unknown rule"), "{err}");
+        }
+        let ok = r#"{"schema": "planaria-lint-baseline-v2", "entries": [
+            {"rule": "R12", "file": "f.rs", "pattern": "Mutex", "justification": "reviewed"}
+        ]}"#;
+        assert_eq!(Baseline::parse(ok).expect("R12 is known").entries.len(), 1);
     }
 }

@@ -10,24 +10,32 @@
 //!
 //! The analyzer is deliberately dependency-free: a hand-rolled
 //! comment/string-aware [`lexer`] (no `syn` — consistent with the
-//! no-registry vendoring policy) feeds eight token-level [`rules`]:
+//! no-registry vendoring policy) feeds a brace-matched item-tree parser
+//! ([`syntax`]), a workspace call-graph approximation ([`callgraph`])
+//! and twelve [`rules`] — eight token-level, four flow-aware:
 //!
-//! | id | invariant |
-//! |----|-----------|
-//! | R1 | hot-path crates use `planaria_hash` maps, never default-hasher `HashMap`/`HashSet` |
-//! | R2 | no `Instant::now`/`SystemTime`/`thread_rng`/`std::env` outside the timing allowlist |
-//! | R3 | no `.unwrap()` outside test code |
-//! | R4 | every crate root carries `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` |
-//! | R5 | no float accumulation driven by hash-map iteration order |
-//! | R6 | JSON emitters route through `planaria_common::json` |
-//! | R7 | no `todo!`/`dbg!`/`unimplemented!` |
-//! | R8 | imports and manifests resolve only to workspace/vendored crates |
+//! | id  | invariant |
+//! |-----|-----------|
+//! | R1  | hot-path crates use `planaria_hash` maps, never default-hasher `HashMap`/`HashSet` |
+//! | R2  | no `Instant::now`/`SystemTime`/`thread_rng`/`std::env` outside the timing allowlist |
+//! | R3  | no `.unwrap()` outside test code |
+//! | R4  | every crate root carries `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` |
+//! | R5  | no float accumulation driven by hash-map iteration order |
+//! | R6  | JSON emitters route through `planaria_common::json` |
+//! | R7  | no `todo!`/`dbg!`/`unimplemented!` |
+//! | R8  | imports and manifests resolve only to workspace/vendored crates |
+//! | R9  | no function may transitively *reach* a wall clock through calls (call-graph R2) |
+//! | R10 | no hash-map iteration flowing into ordered sinks without a sort |
+//! | R11 | parsing modules use checked conversions, never narrowing `as` casts |
+//! | R12 | no unbounded channels, no `Rc`/`RefCell` in `Send` device state, no hot-crate locks |
 //!
-//! Violations can be grandfathered in a committed [`baseline`] file, each
-//! entry carrying a required justification; the shipped baseline is
-//! empty. Results are emitted as a fixed-key-order `planaria-lint-v1`
-//! JSON [`report`], and `ci.sh` runs `planaria-lint --check` on every
-//! gate. See `DESIGN.md` §9 for the full rule rationale and workflow.
+//! Violations can be grandfathered in a committed [`baseline`] file
+//! (schema `planaria-lint-baseline-v2`), each entry carrying a required
+//! justification; the shipped baseline is empty. Results are emitted as a
+//! fixed-key-order `planaria-lint-v2` JSON [`report`] that also carries
+//! the call-graph size, and `ci.sh` runs `planaria-lint --check` on every
+//! gate. See `DESIGN.md` §9 (token rules) and §11 (structural analysis)
+//! for the full rationale and workflow.
 //!
 //! # Examples
 //!
@@ -45,16 +53,58 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod syntax;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use baseline::Baseline;
 use report::Outcome;
-use rules::{lint_manifest, lint_source, Config, FileMeta};
+use rules::{lint_manifest, Config, FileMeta, Violation};
+
+/// One classified source file queued for a [`lint_files`] run.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// File classification (path, crate, origin).
+    pub meta: FileMeta,
+    /// Full source text.
+    pub text: String,
+}
+
+/// The result of linting a set of files together: per-file rule
+/// violations plus the workspace call-graph pass, and the graph's size
+/// (reported for analyzer-cost visibility).
+#[derive(Debug, Clone, Default)]
+pub struct LintRun {
+    /// All violations, sorted by `(file, line, rule)`.
+    pub violations: Vec<Violation>,
+    /// Function nodes in the call graph.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub call_edges: usize,
+}
+
+/// Lints `files` as one unit: every token-level rule per file, then the
+/// call-graph pass (rule R9) across all of them. This is the engine
+/// behind [`run_workspace`]; tests can call it with in-memory files to
+/// exercise cross-file taint without touching disk.
+pub fn lint_files(files: &[SourceFile], config: &Config) -> LintRun {
+    let mut violations = Vec::new();
+    let mut irs = Vec::with_capacity(files.len());
+    for f in files {
+        violations.extend(rules::lint_source_tokens(&f.meta, &f.text, config));
+        irs.push(callgraph::FileIr::build(f.meta.clone(), &f.text));
+    }
+    let graph = callgraph::CallGraph::build(&irs, config);
+    violations.extend(graph.wall_clock_taint(&irs));
+    violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    LintRun { violations, functions: graph.nodes.len(), call_edges: graph.edges.len() }
+}
 
 /// Top-level directories the workspace scan covers.
 const SCAN_ROOTS: [&str; 5] = ["crates", "vendor", "tests", "examples", "benches"];
@@ -134,6 +184,9 @@ pub fn run_workspace(root: &Path, baseline: &Baseline) -> Result<Outcome, String
         files_scanned += 1;
     }
 
+    // Phase 1: walk the tree, linting manifests inline and collecting
+    // every Rust source — the call-graph pass needs all files at once.
+    let mut sources: Vec<SourceFile> = Vec::new();
     for top in SCAN_ROOTS {
         let base = root.join(top);
         if !base.is_dir() {
@@ -156,7 +209,7 @@ pub fn run_workspace(root: &Path, baseline: &Baseline) -> Result<Outcome, String
                     files_scanned += 1;
                 } else if name.ends_with(".rs") {
                     if let Some(meta) = FileMeta::for_path(&rel) {
-                        violations.extend(lint_source(&meta, &read(&entry)?, &config));
+                        sources.push(SourceFile { meta, text: read(&entry)? });
                         files_scanned += 1;
                     }
                 }
@@ -164,6 +217,9 @@ pub fn run_workspace(root: &Path, baseline: &Baseline) -> Result<Outcome, String
         }
     }
 
+    // Phase 2: rules + call graph over the collected set.
+    let run = lint_files(&sources, &config);
+    violations.extend(run.violations);
     violations
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
 
@@ -180,7 +236,14 @@ pub fn run_workspace(root: &Path, baseline: &Baseline) -> Result<Outcome, String
     let stale_entries =
         baseline.entries.iter().zip(&used).filter(|(_, u)| !**u).map(|(e, _)| e.clone()).collect();
 
-    Ok(Outcome { files_scanned, violations: kept, suppressed, stale_entries })
+    Ok(Outcome {
+        files_scanned,
+        functions: run.functions,
+        call_edges: run.call_edges,
+        violations: kept,
+        suppressed,
+        stale_entries,
+    })
 }
 
 /// Loads the baseline at `path`; a missing file is an empty baseline.

@@ -1,8 +1,13 @@
-//! The `planaria-lint-v1` report schema.
+//! The `planaria-lint-v2` report schema.
 //!
 //! Like the perf and contention schemas, the report has a fixed key order
 //! and is emitted through [`planaria_common::json`], so equal lint
 //! outcomes serialize to byte-identical documents.
+//!
+//! v2 extends v1 with an `"analysis"` object carrying the structural
+//! pass's call-graph size (`functions`, `call_edges`) — the number CI
+//! watches so analyzer-cost regressions are visible — and grows the
+//! per-rule summary array to the twelve-rule set.
 
 use planaria_common::json::{self, Value, Writer};
 
@@ -10,13 +15,17 @@ use crate::baseline::BaselineEntry;
 use crate::rules::{Violation, RULES};
 
 /// Schema identifier of the report document.
-pub const REPORT_SCHEMA: &str = "planaria-lint-v1";
+pub const REPORT_SCHEMA: &str = "planaria-lint-v2";
 
 /// The complete outcome of one lint run.
 #[derive(Debug, Clone, Default)]
 pub struct Outcome {
     /// Rust files + manifests scanned.
     pub files_scanned: usize,
+    /// Function nodes in the workspace call graph.
+    pub functions: usize,
+    /// Resolved call edges in the workspace call graph.
+    pub call_edges: usize,
     /// Violations not covered by the baseline, sorted by (file, line, rule).
     pub violations: Vec<Violation>,
     /// Violations covered by a baseline entry, same order.
@@ -32,7 +41,7 @@ impl Outcome {
         self.violations.is_empty() && self.stale_entries.is_empty()
     }
 
-    /// Renders the `planaria-lint-v1` JSON document.
+    /// Renders the `planaria-lint-v2` JSON document.
     pub fn render(&self, root_label: &str) -> String {
         let mut w = Writer::pretty();
         w.begin_object();
@@ -42,6 +51,13 @@ impl Outcome {
         w.string(root_label);
         w.key("files_scanned");
         w.u64(self.files_scanned as u64);
+        w.key("analysis");
+        w.begin_inline_object();
+        w.key("functions");
+        w.u64(self.functions as u64);
+        w.key("call_edges");
+        w.u64(self.call_edges as u64);
+        w.end_object();
         w.key("clean");
         w.bool(self.is_clean());
 
@@ -102,11 +118,13 @@ impl Outcome {
         let _ = writeln!(
             out,
             "planaria-lint: {} violation(s), {} suppressed by baseline, {} stale baseline \
-             entr(ies), {} file(s) scanned",
+             entr(ies), {} file(s) scanned, call graph {} fn(s) / {} edge(s)",
             self.violations.len(),
             self.suppressed.len(),
             self.stale_entries.len(),
-            self.files_scanned
+            self.files_scanned,
+            self.functions,
+            self.call_edges
         );
         out
     }
@@ -127,22 +145,36 @@ fn write_violation(w: &mut Writer, v: &Violation) {
     w.end_object();
 }
 
-/// Validates a written `planaria-lint-v1` report document.
+/// Validates a written `planaria-lint-v2` report document.
 ///
 /// # Errors
 ///
-/// Reports malformed JSON, a wrong schema id, or missing top-level keys.
+/// Reports malformed JSON, a wrong schema id, missing top-level keys or
+/// a malformed `"analysis"` object.
 pub fn validate_report(text: &str) -> Result<(), String> {
     let doc = json::parse(text)?;
     match doc.get("schema").and_then(Value::as_str) {
         Some(REPORT_SCHEMA) => {}
         other => return Err(format!("schema must be {REPORT_SCHEMA:?}, found {other:?}")),
     }
-    for key in
-        ["root", "files_scanned", "clean", "rules", "violations", "suppressed", "baseline_stale"]
-    {
+    for key in [
+        "root",
+        "files_scanned",
+        "analysis",
+        "clean",
+        "rules",
+        "violations",
+        "suppressed",
+        "baseline_stale",
+    ] {
         if doc.get(key).is_none() {
             return Err(format!("missing top-level key {key:?}"));
+        }
+    }
+    let analysis = doc.get("analysis").ok_or("missing \"analysis\"")?;
+    for key in ["functions", "call_edges"] {
+        if analysis.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("\"analysis\" lacks numeric key {key:?}"));
         }
     }
     let rules = doc.get("rules").and_then(Value::as_array).ok_or("\"rules\" must be an array")?;

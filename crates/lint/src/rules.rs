@@ -72,7 +72,7 @@ impl FileMeta {
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id (`R1`…`R8`).
+    /// Rule id (`R1`…`R12`).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -84,59 +84,151 @@ pub struct Violation {
     pub message: String,
 }
 
-/// Static description of one rule, used by `--list-rules` and the report.
+/// Static description of one rule, used by `--list-rules`, `--explain`
+/// and the report.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
-    /// Stable id (`R1`…`R8`).
+    /// Stable id (`R1`…`R12`).
     pub id: &'static str,
     /// Short kebab-case name.
     pub name: &'static str,
     /// One-line summary of the invariant.
     pub summary: &'static str,
+    /// Why the invariant exists (shown by `--explain`).
+    pub rationale: &'static str,
+    /// A minimal example that fires the rule.
+    pub fires: &'static str,
+    /// The sanctioned counterpart that does not fire.
+    pub clean: &'static str,
 }
 
 /// All rules, in id order.
-pub const RULES: [RuleInfo; 8] = [
+pub const RULES: [RuleInfo; 12] = [
     RuleInfo {
         id: "R1",
         name: "hot-path-hasher",
         summary: "hot-path crates must use planaria_hash containers (FastHashMap/FastHashSet/\
                   FixedIndex), not default-hasher HashMap/HashSet",
+        rationale: "std's default hasher is SipHash with a per-process random seed: it is slow \
+                    on the per-access lookup paths and its iteration order varies run to run, \
+                    which breaks the bit-identical-results guarantee the moment order leaks.",
+        fires: "use std::collections::HashMap;\nlet m: HashMap<u64, u64> = HashMap::new();",
+        clean: "use planaria_hash::FastHashMap;\nlet m: FastHashMap<u64, u64> = \
+                FastHashMap::default();",
     },
     RuleInfo {
         id: "R2",
         name: "no-wall-clock",
         summary: "no Instant::now/SystemTime/thread_rng/std::env outside the timing allowlist",
+        rationale: "simulated state must be a pure function of its inputs; a wall-clock read or \
+                    ambient environment lookup makes results irreproducible. Timing belongs in \
+                    the allowlisted runner/bench layer.",
+        fires: "let t0 = std::time::Instant::now();",
+        clean: "fn step(&mut self, now: Cycle) { /* time arrives as data */ }",
     },
     RuleInfo {
         id: "R3",
         name: "no-unwrap",
         summary: "no .unwrap() outside test code; use expect(\"invariant\") or propagate",
+        rationale: ".unwrap() erases which invariant was violated; a panic message naming the \
+                    broken assumption is the difference between a five-minute fix and a \
+                    debugging session.",
+        fires: "let v = map.get(&k).unwrap();",
+        clean: "let v = map.get(&k).expect(\"key inserted by the constructor\");",
     },
     RuleInfo {
         id: "R4",
         name: "crate-root-attrs",
         summary: "crate roots must carry #![forbid(unsafe_code)] and #![warn(missing_docs)]",
+        rationale: "the whole workspace is safe Rust and rustdoc -D warnings gates CI; both \
+                    properties are only machine-checked if every crate root opts in.",
+        fires: "//! Crate docs.\npub fn f() {}",
+        clean: "//! Crate docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}",
     },
     RuleInfo {
         id: "R5",
         name: "no-map-order-floats",
         summary: "no float accumulation driven by hash-map iteration order",
+        rationale: "float addition is not associative, so summing .values() in hash order \
+                    yields different totals on different runs even with the same entries.",
+        fires: "let total: f64 = map.values().sum::<f64>();",
+        clean: "let mut vs: Vec<_> = map.values().collect();\nvs.sort_by(f64::total_cmp);\n\
+                let total: f64 = vs.iter().copied().sum();",
     },
     RuleInfo {
         id: "R6",
         name: "shared-json",
         summary: "JSON emitters route through planaria_common::json helpers",
+        rationale: "hand-rolled writers drift: key order, float formatting and escaping all \
+                    become schema hazards. One shared writer keeps equal reports byte-identical.",
+        fires: "fn escape_json(s: &str) -> String { /* local copy */ String::new() }",
+        clean: "use planaria_common::json::Writer;\nlet mut w = Writer::pretty();",
     },
     RuleInfo {
         id: "R7",
         name: "no-debug-macros",
         summary: "no todo!/dbg!/unimplemented! anywhere in committed code",
+        rationale: "todo!()/unimplemented!() are runtime landmines on untested branches and \
+                    dbg!() pollutes stderr that CI parses; none belong in committed code.",
+        fires: "fn handle(x: u8) { todo!(\"later\") }",
+        clean: "fn handle(x: u8) -> Result<(), Error> { Err(Error::Unsupported(x)) }",
     },
     RuleInfo {
         id: "R8",
         name: "vendored-deps-only",
         summary: "imports and manifests may only name workspace or vendored crates",
+        rationale: "the build environment has no registry access; a crates.io dependency \
+                    compiles on the author's machine and breaks everywhere else.",
+        fires: "[dependencies]\nserde = \"1.0\"",
+        clean: "[dependencies]\nserde = { path = \"../../vendor/serde\" }",
+    },
+    RuleInfo {
+        id: "R9",
+        name: "no-transitive-wall-clock",
+        summary: "no function may *reach* a wall-clock/entropy source through calls (call-graph \
+                  upgrade of R2's call-site check)",
+        rationale: "R2 only sees the literal call site; hiding Instant::now() one helper away \
+                    defeats it. R9 walks the workspace call graph backwards from every direct \
+                    read, so the taint is caught wherever it enters simulated code. Allowlisted \
+                    files are barriers: their fns are the sanctioned timing API.",
+        fires: "fn stamp() -> u64 { /* Instant::now() here */ 0 }\n\
+                fn decide(&mut self) { let _ = stamp(); } // R9: reaches the clock",
+        clean: "fn decide(&mut self, now: Cycle) { /* timestamps arrive as data */ }",
+    },
+    RuleInfo {
+        id: "R10",
+        name: "no-map-order-sinks",
+        summary: "no hash-map iteration flowing into ordered sinks (Vec pushes, JSON writers, \
+                  float accumulators) without an intervening sort",
+        rationale: "generalizes R5: any order-sensitive sink fed from hash iteration — a Vec \
+                    that is never sorted, a JSON writer, a float += — bakes the hasher's \
+                    whim into output bytes.",
+        fires: "for v in map.values() { out.push(v); } // `out` never sorted",
+        clean: "let mut items: Vec<_> = map.iter().collect();\nitems.sort_by_key(|(k, _)| *k);\n\
+                for (_, v) in items { out.push(v); }",
+    },
+    RuleInfo {
+        id: "R11",
+        name: "checked-narrowing",
+        summary: "parsing/deserialization modules must not use narrowing `as` casts; use \
+                  From/try_from/checked conversions",
+        rationale: "`count as usize` on attacker-controlled or on-disk data silently truncates \
+                    out-of-range values into plausible small ones; try_from turns the same \
+                    situation into a typed, testable error (FieldTooLarge).",
+        fires: "let n = header_count as usize; // u64 from disk",
+        clean: "let n = usize::try_from(header_count)\n    .map_err(|_| ParseTraceError::\
+                FieldTooLarge { what: \"count\", value: header_count, max: MAX as u64 })?;",
+    },
+    RuleInfo {
+        id: "R12",
+        name: "concurrency-hygiene",
+        summary: "no unbounded channels anywhere; no Rc/RefCell in Send device state; no locks \
+                  in hot crates outside the allowlist",
+        rationale: "an unbounded channel is an OOM with extra steps under load; Rc/RefCell in \
+                    serving state blocks Send and hides aliasing; a lock on a hot path \
+                    serializes the very parallelism the sharded design exists to provide.",
+        fires: "let (tx, rx) = std::sync::mpsc::channel();",
+        clean: "let (tx, rx) = std::sync::mpsc::sync_channel(MAILBOX_BOUND);",
     },
 ];
 
@@ -152,6 +244,16 @@ pub struct Config {
     /// the built-ins (`std`, `core`, `alloc`, `crate`, `self`, `super`,
     /// `proc_macro`). Populated from the workspace member directories.
     pub crate_idents: Vec<String>,
+    /// Files whose parsing/deserialization code must use checked
+    /// conversions instead of narrowing `as` casts (rule R11). Matched
+    /// as path prefixes.
+    pub narrow_cast_paths: Vec<String>,
+    /// Crate directory names whose device state must stay `Send`: no
+    /// `Rc`/`RefCell` (rule R12).
+    pub send_state_crates: Vec<String>,
+    /// Path prefixes exempt from the hot-crate lock ban (rule R12) —
+    /// reviewed sites like the runner's Arc-shared trace cache.
+    pub lock_allow: Vec<String>,
 }
 
 impl Default for Config {
@@ -175,12 +277,43 @@ impl Default for Config {
             .map(|s| s.to_string())
             .collect(),
             crate_idents: Vec::new(),
+            narrow_cast_paths: [
+                // On-disk trace codec: every length/count field is
+                // adversarial until bounds-checked.
+                "crates/trace/src/io.rs",
+                // Snapshot restore parses operator-supplied JSON.
+                "crates/serve/src/snapshot.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            send_state_crates: ["serve"].iter().map(|s| s.to_string()).collect(),
+            lock_allow: [
+                // The runner's cross-thread trace cache and sample sink
+                // are reviewed, coarse-grained and off the per-access path.
+                "crates/sim/src/runner.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         }
     }
 }
 
-/// Lints one Rust source file; returns its violations in line order.
+/// Lints one Rust source file in isolation; returns its violations in
+/// line order.
+///
+/// Runs every per-file rule **plus** a single-file call-graph pass, so
+/// the flow-aware rules (R9) fire on intra-file taint. Cross-file taint
+/// needs the whole workspace — use [`crate::lint_files`] for that.
 pub fn lint_source(meta: &FileMeta, source: &str, config: &Config) -> Vec<Violation> {
+    let files = [crate::SourceFile { meta: meta.clone(), text: source.to_string() }];
+    crate::lint_files(&files, config).violations
+}
+
+/// The token-level half of [`lint_source`]: rules R1–R8 and R10–R12,
+/// which need only this one file's tokens.
+pub(crate) fn lint_source_tokens(meta: &FileMeta, source: &str, config: &Config) -> Vec<Violation> {
     let tokens = lex(source);
     let in_test = test_regions(&tokens);
     let lines: Vec<&str> = source.lines().collect();
@@ -195,6 +328,9 @@ pub fn lint_source(meta: &FileMeta, source: &str, config: &Config) -> Vec<Violat
     rule_shared_json(&ctx, &mut out);
     rule_no_debug_macros(&ctx, &mut out);
     rule_vendored_imports(&ctx, &mut out);
+    rule_map_order_sinks(&ctx, &mut out);
+    rule_checked_narrowing(&ctx, &mut out);
+    rule_concurrency_hygiene(&ctx, &mut out);
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -326,7 +462,7 @@ impl Ctx<'_> {
     }
 }
 
-fn snippet_of(line: &str) -> String {
+pub(crate) fn snippet_of(line: &str) -> String {
     let t = line.trim();
     if t.len() > 120 {
         let mut end = 117;
@@ -344,7 +480,7 @@ fn snippet_of(line: &str) -> String {
 /// An attribute containing the `cfg` and `test` identifiers gates the
 /// following item; the gated region runs to the item's closing brace (or
 /// terminating semicolon for brace-less items like `use`).
-fn test_regions(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_regions(tokens: &[Token]) -> Vec<bool> {
     let mut in_test = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -455,6 +591,29 @@ fn rule_hot_path_hasher(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
     }
 }
 
+/// Recognises a direct wall-clock / nondeterminism pattern at token `i`:
+/// `SystemTime`, `thread_rng`, `from_entropy`, `Instant::now`,
+/// `std::env`. Returns what was reached. Shared between R2 (call-site
+/// reports) and the R9 call-graph taint pass in [`crate::callgraph`].
+pub(crate) fn wall_clock_at(toks: &[Token], i: usize) -> Option<String> {
+    let t = toks.get(i)?;
+    if t.is_ident("SystemTime") || t.is_ident("thread_rng") || t.is_ident("from_entropy") {
+        return Some(t.text.clone());
+    }
+    let qualified = |name: &str| {
+        matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i + 3), Some(n) if n.is_ident(name))
+    };
+    if t.is_ident("Instant") && qualified("now") {
+        return Some("Instant::now".to_string());
+    }
+    if t.is_ident("std") && qualified("env") {
+        return Some("std::env".to_string());
+    }
+    None
+}
+
 /// R2 — wall-clock / nondeterminism sources outside the allowlist.
 fn rule_no_wall_clock(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
     if !ctx.first_party_prod() {
@@ -468,25 +627,7 @@ fn rule_no_wall_clock(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
         if !ctx.is_prod(i) {
             continue;
         }
-        let bad =
-            if t.is_ident("SystemTime") || t.is_ident("thread_rng") || t.is_ident("from_entropy") {
-                Some(t.text.clone())
-            } else if t.is_ident("Instant")
-                && matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
-                && matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
-                && matches!(toks.get(i + 3), Some(n) if n.is_ident("now"))
-            {
-                Some("Instant::now".to_string())
-            } else if t.is_ident("std")
-                && matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
-                && matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
-                && matches!(toks.get(i + 3), Some(n) if n.is_ident("env"))
-            {
-                Some("std::env".to_string())
-            } else {
-                None
-            };
-        if let Some(what) = bad {
+        if let Some(what) = wall_clock_at(toks, i) {
             ctx.emit(
                 out,
                 "R2",
@@ -760,6 +901,343 @@ fn rule_vendored_imports(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
                  environment has no registry access"
             ),
         );
+    }
+}
+
+/// Hash-map container type names rule R10 tracks.
+const MAP_TYPES: [&str; 4] = ["HashMap", "HashSet", "FastHashMap", "FastHashSet"];
+
+/// Iterator-producing methods whose order is the hasher's.
+const MAP_ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// R10 — hash-map iteration flowing into ordered sinks.
+///
+/// Tracks, per file: identifiers *declared* as hash maps (`x: FastHashMap<…>`
+/// or `x = HashMap::new()`), identifiers declared as float accumulators,
+/// and identifiers that are sorted somewhere (`x.sort*`). A `for` loop
+/// whose header iterates a map identifier is then scanned for ordered
+/// sinks in its body: `vec.push(…)` where `vec` is never sorted, a JSON
+/// writer `.key(…)`, `push_str`/`write!`, or `float += …`. Chained
+/// iterator expressions outside `for` headers are *not* tracked (a
+/// documented false negative — R5 covers the float-fold shape of those).
+fn rule_map_order_sinks(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if !ctx.first_party_prod() {
+        return;
+    }
+    let toks = ctx.tokens;
+
+    // Pass 1: classify identifiers by their declarations.
+    let mut map_idents: Vec<&str> = Vec::new();
+    let mut float_idents: Vec<&str> = Vec::new();
+    let mut sorted_idents: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name: [& mut 'a]* MapType` / `name: f64` — a single colon
+        // (both neighbors must not be ':', or this is a `::` path).
+        let single_colon = matches!(toks.get(i + 1), Some(p) if p.is_punct(':'))
+            && !matches!(toks.get(i + 2), Some(p) if p.is_punct(':'))
+            && !(i > 0 && toks[i - 1].is_punct(':'));
+        if single_colon {
+            let mut j = i + 2;
+            while matches!(
+                toks.get(j),
+                Some(t) if t.is_punct('&') || t.is_ident("mut") || t.kind == TokenKind::Lifetime
+            ) {
+                j += 1;
+            }
+            if let Some(ty) = toks.get(j) {
+                if MAP_TYPES.iter().any(|m| ty.is_ident(m)) {
+                    map_idents.push(t.text.as_str());
+                } else if ty.is_ident("f64") || ty.is_ident("f32") {
+                    float_idents.push(t.text.as_str());
+                }
+            }
+        }
+        // `name = MapType::…` / `name = 0.0` (plain assignment, not ==).
+        let plain_assign = matches!(toks.get(i + 1), Some(p) if p.is_punct('='))
+            && !matches!(toks.get(i + 2), Some(p) if p.is_punct('='))
+            && !(i > 0 && toks[i - 1].is_punct('='));
+        if plain_assign {
+            match toks.get(i + 2) {
+                Some(ty)
+                    if MAP_TYPES.iter().any(|m| ty.is_ident(m))
+                        && matches!(toks.get(i + 3), Some(p) if p.is_punct(':')) =>
+                {
+                    map_idents.push(t.text.as_str());
+                }
+                Some(n)
+                    if n.kind == TokenKind::NumLit
+                        && (n.text.contains('.')
+                            || n.text.ends_with("f64")
+                            || n.text.ends_with("f32")) =>
+                {
+                    float_idents.push(t.text.as_str());
+                }
+                _ => {}
+            }
+        }
+        // `name.sort…(…)` anywhere absolves later pushes into `name`.
+        if matches!(toks.get(i + 1), Some(p) if p.is_punct('.'))
+            && matches!(toks.get(i + 2), Some(m) if m.kind == TokenKind::Ident
+                && m.text.starts_with("sort"))
+        {
+            sorted_idents.push(t.text.as_str());
+        }
+    }
+    if map_idents.is_empty() {
+        return;
+    }
+
+    // Pass 2: `for` loops whose header iterates a map identifier.
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("for") || !ctx.is_prod(i) {
+            i += 1;
+            continue;
+        }
+        // `impl Trait for Type` / HRTB `for<'a>`: not loops.
+        if i > 0 && (toks[i - 1].kind == TokenKind::Ident || toks[i - 1].is_punct('>')) {
+            i += 1;
+            continue;
+        }
+        if matches!(toks.get(i + 1), Some(p) if p.is_punct('<')) {
+            i += 1;
+            continue;
+        }
+        // Locate `in` at bracket depth 0, then the body `{`.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut in_pos = None;
+        while j < toks.len() && j < i + 60 {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_ident("in") {
+                in_pos = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_pos) = in_pos else {
+            i += 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut k = in_pos + 1;
+        let mut brace = None;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct('{') {
+                brace = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        let Some(brace) = brace else {
+            i += 1;
+            continue;
+        };
+
+        // Does the header iterate a tracked map?
+        let header = &toks[in_pos + 1..brace];
+        let mut iterated: Option<&str> = None;
+        for (h, t) in header.iter().enumerate() {
+            if t.kind != TokenKind::Ident || !map_idents.contains(&t.text.as_str()) {
+                continue;
+            }
+            let via_method = matches!(header.get(h + 1), Some(p) if p.is_punct('.'))
+                && matches!(header.get(h + 2), Some(m) if MAP_ITER_METHODS
+                    .iter()
+                    .any(|im| m.is_ident(im)));
+            // `for x in &map` / `for x in map`: header is only the map
+            // ident plus reference sigils.
+            let bare = header.iter().all(|u| {
+                u.is_punct('&')
+                    || u.is_ident("mut")
+                    || (u.kind == TokenKind::Ident && u.text == t.text)
+            });
+            if via_method || bare {
+                iterated = Some(t.text.as_str());
+                break;
+            }
+        }
+        let Some(map_name) = iterated else {
+            i = brace + 1;
+            continue;
+        };
+
+        // Scan the body for ordered sinks.
+        let mut depth = 1usize;
+        let mut b = brace + 1;
+        let mut sink: Option<(u32, String)> = None;
+        while b < toks.len() && depth > 0 {
+            let t = &toks[b];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+            } else if ctx.is_prod(b) && t.kind == TokenKind::Ident && sink.is_none() {
+                // `x.push(` with `x` never sorted.
+                if matches!(toks.get(b + 1), Some(p) if p.is_punct('.'))
+                    && matches!(toks.get(b + 2), Some(m) if m.is_ident("push"))
+                    && matches!(toks.get(b + 3), Some(p) if p.is_punct('('))
+                    && !sorted_idents.contains(&t.text.as_str())
+                {
+                    sink = Some((t.line, format!("`{}.push(…)` (never sorted)", t.text)));
+                }
+                // JSON writer `.key(` / `.push_str(`.
+                if (t.is_ident("key") || t.is_ident("push_str"))
+                    && b > 0
+                    && toks[b - 1].is_punct('.')
+                    && matches!(toks.get(b + 1), Some(p) if p.is_punct('('))
+                {
+                    sink = Some((t.line, format!("`.{}(…)`", t.text)));
+                }
+                // `write!`/`writeln!`.
+                if (t.is_ident("write") || t.is_ident("writeln"))
+                    && matches!(toks.get(b + 1), Some(p) if p.is_punct('!'))
+                {
+                    sink = Some((t.line, format!("`{}!`", t.text)));
+                }
+                // Float accumulation `acc += …`.
+                if float_idents.contains(&t.text.as_str())
+                    && matches!(toks.get(b + 1), Some(p) if p.is_punct('+'))
+                    && matches!(toks.get(b + 2), Some(p) if p.is_punct('='))
+                {
+                    sink = Some((t.line, format!("float accumulator `{} += …`", t.text)));
+                }
+            }
+            b += 1;
+        }
+        if let Some((_, what)) = sink {
+            ctx.emit(
+                out,
+                "R10",
+                toks[i].line,
+                format!(
+                    "loop iterates hash map `{map_name}` and feeds {what}, an order-sensitive \
+                     sink; hash iteration order varies — collect and sort before the loop, or \
+                     use an order-independent reduction"
+                ),
+            );
+        }
+        i = brace + 1;
+    }
+}
+
+/// Integer types a cast *into* can lose bits or sign.
+const NARROW_TARGETS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// R11 — narrowing `as` casts in parsing/deserialization modules.
+fn rule_checked_narrowing(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if !ctx.config.narrow_cast_paths.iter().any(|p| ctx.meta.path.starts_with(p.as_str())) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if !ctx.is_prod(i) || !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else { continue };
+        if NARROW_TARGETS.iter().any(|n| target.is_ident(n)) {
+            ctx.emit(
+                out,
+                "R11",
+                toks[i].line,
+                format!(
+                    "`as {}` silently truncates out-of-range values; this file parses external \
+                     data, so use {}::try_from / From and surface a typed error \
+                     (FieldTooLarge-style) instead",
+                    target.text, target.text
+                ),
+            );
+        }
+    }
+}
+
+/// Lock type names banned from hot crates (R12c).
+const LOCK_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+
+/// R12 — concurrency hygiene: unbounded channels, non-`Send` interior
+/// mutability in device state, locks on hot paths.
+fn rule_concurrency_hygiene(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if !ctx.first_party_prod() {
+        return;
+    }
+    let toks = ctx.tokens;
+    let send_state = ctx.config.send_state_crates.contains(&ctx.meta.crate_name);
+    let hot = ctx.config.hot_crates.contains(&ctx.meta.crate_name)
+        && !ctx.config.lock_allow.iter().any(|p| ctx.meta.path.starts_with(p.as_str()));
+    for i in 0..toks.len() {
+        if !ctx.is_prod(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // (a) Unbounded channels — everywhere in first-party prod code.
+        let mpsc_channel = t.is_ident("mpsc")
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct(':'))
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct(':'))
+            && matches!(toks.get(i + 3), Some(n) if n.is_ident("channel"));
+        let unbounded_call = (t.is_ident("unbounded") || t.is_ident("unbounded_channel"))
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct('('));
+        if mpsc_channel || unbounded_call {
+            ctx.emit(
+                out,
+                "R12",
+                t.line,
+                "unbounded channel: under load this is an OOM with extra steps — use a \
+                 bounded channel (sync_channel) sized like the serve mailbox"
+                    .to_string(),
+            );
+            continue;
+        }
+        // (b) `Rc`/`RefCell` in crates whose device state must be Send.
+        if send_state && (t.is_ident("Rc") || t.is_ident("RefCell")) {
+            ctx.emit(
+                out,
+                "R12",
+                t.line,
+                format!(
+                    "{} is !Send (or hides aliasing) — served device state migrates across \
+                     worker threads; use owned state or Arc with explicit sharing",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // (c) Locks in hot crates outside the allowlist.
+        if hot && LOCK_TYPES.iter().any(|l| t.is_ident(l)) {
+            ctx.emit(
+                out,
+                "R12",
+                t.line,
+                format!(
+                    "{} on a hot-path crate serializes the sharded parallelism; keep per-shard \
+                     state owned and merge deterministically (or add the reviewed site to \
+                     lock_allow)",
+                    t.text
+                ),
+            );
+        }
     }
 }
 

@@ -104,6 +104,117 @@ fn r8_unknown_crate_import() {
 }
 
 #[test]
+fn r9_transitive_wall_clock_within_one_file() {
+    let vs = lint("crates/core/src/fixture.rs", include_str!("fixtures/bad_r9.rs"));
+    let direct: Vec<_> = vs.iter().filter(|v| v.rule == "R2").collect();
+    let indirect: Vec<_> = vs.iter().filter(|v| v.rule == "R9").collect();
+    assert_eq!(direct.len(), 1, "{vs:?}");
+    assert_eq!(indirect.len(), 1, "only `entry` is indirectly tainted: {vs:?}");
+    assert!(indirect[0].message.contains("entry"), "{:?}", indirect[0].message);
+    assert!(indirect[0].message.contains("transitively"), "{:?}", indirect[0].message);
+}
+
+#[test]
+fn r9_is_silent_on_the_allowlist() {
+    let vs = lint("crates/bench/src/fixture.rs", include_str!("fixtures/bad_r9.rs"));
+    assert!(vs.is_empty(), "bench may time things, directly or not: {vs:?}");
+}
+
+#[test]
+fn r9_taints_across_files_and_crates() {
+    use planaria_lint::{lint_files, SourceFile};
+    let source = |path: &str, text: &str| SourceFile {
+        meta: FileMeta::for_path(path).expect("classifiable fixture path"),
+        text: text.to_string(),
+    };
+    let clock = source(
+        "crates/trace/src/clock.rs",
+        "//! Clock.\n\n/// Direct wall-clock read (R2).\npub fn read_clock() -> u64 {\n    \
+         let _ = std::time::SystemTime::now();\n    0\n}\n",
+    );
+    let driver = source(
+        "crates/core/src/driver.rs",
+        "//! Driver.\n\n/// Reaches the clock only through another crate.\n\
+         pub fn drive() -> u64 {\n    planaria_trace::clock::read_clock()\n}\n",
+    );
+    let run = lint_files(&[clock, driver], &config());
+    let r9: Vec<_> = run.violations.iter().filter(|v| v.rule == "R9").collect();
+    assert_eq!(r9.len(), 1, "{:?}", run.violations);
+    assert_eq!(r9[0].file, "crates/core/src/driver.rs");
+    assert!(r9[0].message.contains("drive"), "{:?}", r9[0].message);
+    assert!(run.violations.iter().any(|v| v.rule == "R2"), "direct site still R2");
+    assert!(run.functions >= 2 && run.call_edges >= 1, "graph was built");
+}
+
+#[test]
+fn r10_map_iteration_into_ordered_sink() {
+    let vs = lint("crates/analysis/src/fixture.rs", include_str!("fixtures/bad_r10.rs"));
+    assert!(vs.iter().all(|v| v.rule == "R10"), "{vs:?}");
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert!(vs[0].message.contains("by_page"), "{:?}", vs[0].message);
+}
+
+#[test]
+fn r11_narrowing_cast_in_parsing_module() {
+    let vs = lint("crates/trace/src/io.rs", include_str!("fixtures/bad_r11.rs"));
+    assert!(vs.iter().all(|v| v.rule == "R11"), "{vs:?}");
+    assert_eq!(vs.len(), 1, "the widening `as u64` must not fire: {vs:?}");
+}
+
+#[test]
+fn r11_is_silent_outside_parsing_modules() {
+    let vs = lint("crates/analysis/src/fixture.rs", include_str!("fixtures/bad_r11.rs"));
+    assert!(vs.is_empty(), "R11 only polices configured parsing paths: {vs:?}");
+}
+
+#[test]
+fn r12_checks_depend_on_the_crate() {
+    // In serve: the unbounded channel and the `Rc` fire; serve is not a
+    // hot crate, so the Mutex passes.
+    let vs = lint("crates/serve/src/fixture.rs", include_str!("fixtures/bad_r12.rs"));
+    assert!(vs.iter().all(|v| v.rule == "R12"), "{vs:?}");
+    assert_eq!(vs.len(), 3, "channel + two Rc mentions: {vs:?}");
+    assert!(vs.iter().any(|v| v.message.contains("unbounded channel")), "{vs:?}");
+    assert!(vs.iter().any(|v| v.message.contains("!Send")), "{vs:?}");
+
+    // In core (hot): the channel and the Mutex fire; core holds no Send
+    // device state, so the Rc passes.
+    let vs = lint("crates/core/src/fixture.rs", include_str!("fixtures/bad_r12.rs"));
+    assert!(vs.iter().all(|v| v.rule == "R12"), "{vs:?}");
+    assert_eq!(vs.len(), 3, "channel + two Mutex mentions: {vs:?}");
+    assert!(vs.iter().any(|v| v.message.contains("hot-path")), "{vs:?}");
+
+    // In the lock allowlist (sim's runner): only the channel fires.
+    let vs = lint("crates/sim/src/runner.rs", include_str!("fixtures/bad_r12.rs"));
+    assert!(vs.iter().all(|v| v.rule == "R12"), "{vs:?}");
+    assert_eq!(vs.len(), 1, "lock_allow excuses the Mutex: {vs:?}");
+}
+
+#[test]
+fn clean_flow_fixture_passes_the_flow_rules_where_they_all_apply() {
+    // `crates/trace/src/io.rs` is a hot crate AND a narrow-cast path, so
+    // every flow rule is live against this fixture.
+    let vs = lint("crates/trace/src/io.rs", include_str!("fixtures/clean_flow.rs"));
+    assert!(vs.is_empty(), "sanctioned flow forms must not fire: {vs:?}");
+}
+
+#[test]
+fn structural_parser_handles_tricky_shapes() {
+    use planaria_lint::syntax::ItemTree;
+    let tree = ItemTree::parse_source(include_str!("fixtures/tricky_structure.rs"));
+    let fns = tree.fns();
+    let names: Vec<&str> = fns.iter().map(|f| f.item.name.as_str()).collect();
+    assert!(names.contains(&"outer"), "{names:?}");
+    assert!(names.contains(&"inner"), "impl-in-fn / fn-in-fn bodies are parsed: {names:?}");
+    assert!(names.contains(&"match"), "raw idents lex to their bare name: {names:?}");
+    let find = |name: &str| fns.iter().find(|f| f.item.name == name).expect("fn present");
+    assert!(find("helper").item.cfg_test, "doubly-nested cfg(test) is test code");
+    assert!(find("works").item.cfg_test, "#[test] fns are test code");
+    assert!(!find("outer").item.cfg_test);
+    assert!(!find("inner").item.cfg_test);
+}
+
+#[test]
 fn clean_fixture_passes_every_rule_as_a_hot_crate_root() {
     let vs = lint("crates/core/src/lib.rs", include_str!("fixtures/clean.rs"));
     assert!(vs.is_empty(), "sanctioned forms must not fire: {vs:?}");

@@ -1,0 +1,13 @@
+//! R10 fixture: a loop over hash-map iteration feeding an ordered sink
+//! without an intervening sort.
+
+use std::collections::HashMap;
+
+/// Emits pages in hasher order — the output depends on the seed.
+pub fn label_order(by_page: &HashMap<u64, u32>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for page in by_page.keys() {
+        out.push(*page);
+    }
+    out
+}

@@ -1,0 +1,30 @@
+//! Structural-parser regressions: nested `cfg(test)` modules, items
+//! declared inside function bodies, and raw-identifier functions.
+
+/// Outer function with a nested item: the nested body must be a "hole"
+/// in the outer function's scan range.
+pub fn outer() -> u32 {
+    fn inner() -> u32 {
+        9
+    }
+    inner()
+}
+
+/// Raw identifier: lexes as the bare name `match`.
+pub fn r#match(r#type: u32) -> u32 {
+    r#type
+}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(test)]
+    mod nested {
+        /// Doubly test-gated.
+        pub fn helper() {}
+    }
+
+    #[test]
+    fn works() {
+        assert_eq!(super::outer(), 9);
+    }
+}

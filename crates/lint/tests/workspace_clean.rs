@@ -32,7 +32,7 @@ fn shipped_workspace_is_lint_clean_with_an_empty_baseline() {
     );
 
     let report = outcome.render("workspace");
-    validate_report(&report).expect("report validates against planaria-lint-v1");
+    validate_report(&report).expect("report validates against planaria-lint-v2");
 }
 
 #[test]

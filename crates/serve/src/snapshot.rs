@@ -74,6 +74,15 @@ fn num_field(doc: &Value, key: &str) -> Result<u64, String> {
     Ok(v as u64)
 }
 
+/// Reads a numeric field that must fit the platform's `usize` (lengths,
+/// window and mailbox sizes). An out-of-range value is a typed error,
+/// never a silent truncation.
+fn usize_field(doc: &Value, key: &str) -> Result<usize, String> {
+    let v = num_field(doc, key)?;
+    usize::try_from(v)
+        .map_err(|_| format!("snapshot field {key:?} value {v} exceeds this platform's usize"))
+}
+
 fn u64_string_field(doc: &Value, key: &str) -> Result<u64, String> {
     str_field(doc, key)?
         .parse::<u64>()
@@ -186,13 +195,13 @@ impl ServedDevice {
             id: num_field(doc, "device")?,
             home_page: u64_string_field(doc, "home_page")?,
             app: app_from_abbr(str_field(doc, "app")?)?,
-            length: num_field(doc, "length")? as usize,
+            length: usize_field(doc, "length")?,
             seed: u64_string_field(doc, "seed")?,
-            window: num_field(doc, "window")? as usize,
-            mailbox: num_field(doc, "mailbox")? as usize,
+            window: usize_field(doc, "window")?,
+            mailbox: usize_field(doc, "mailbox")?,
             pool_cap: match doc.get("pool_cap") {
                 Some(Value::Null) => None,
-                Some(_) => Some(num_field(doc, "pool_cap")? as usize),
+                Some(_) => Some(usize_field(doc, "pool_cap")?),
                 None => return Err("snapshot field \"pool_cap\" missing".into()),
             },
             system,
@@ -213,7 +222,9 @@ impl ServedDevice {
         // cannot perturb the rebuilt state.
         let mut dev = ServedDevice::from_spec(spec);
         while dev.consumed < target {
-            let want = (target - dev.consumed) as usize;
+            // `want` is an upper bound for ingest, so clamping the u64
+            // remainder is loss-free — the loop simply iterates again.
+            let want = usize::try_from(target - dev.consumed).unwrap_or(usize::MAX);
             if dev.ingest(want) == 0 {
                 return Err(format!(
                     "source stream ended at {} accesses but snapshot consumed {target}",

@@ -236,6 +236,17 @@ const CHUNK_MAGIC: &[u8; 8] = b"PLNTRACE";
 /// Version written and accepted by this reader/writer pair.
 const CHUNK_VERSION: u32 = 1;
 
+/// [`MAX_CHUNK_RECORDS`] as an in-memory count (checked, never cast).
+fn max_chunk_records() -> usize {
+    usize::try_from(MAX_CHUNK_RECORDS).expect("u32 chunk bound fits usize")
+}
+
+/// Clamps an untrusted declared total to at most one chunk frame's worth
+/// of up-front allocation.
+fn clamped_capacity(total: u64) -> usize {
+    usize::try_from(total.min(u64::from(MAX_CHUNK_RECORDS))).expect("clamped to u32 bound")
+}
+
 /// Reads exactly `buf.len()` bytes, mapping a clean EOF to
 /// [`ParseTraceError::Truncated`] for the named structure.
 fn read_exact_or(
@@ -333,10 +344,10 @@ pub fn read_binary<R: Read>(name: impl Into<String>, mut r: R) -> Result<Trace, 
         return Err(ParseTraceError::BadMagic);
     }
     if header[4] != BIN_VERSION {
-        return Err(ParseTraceError::UnsupportedVersion(header[4] as u32));
+        return Err(ParseTraceError::UnsupportedVersion(u32::from(header[4])));
     }
     let count = u64::from_le_bytes(header[5..13].try_into().expect("sized slice"));
-    let mut accesses = Vec::with_capacity(count.min(MAX_CHUNK_RECORDS as u64) as usize);
+    let mut accesses = Vec::with_capacity(clamped_capacity(count));
     let mut rec = [0u8; RECORD_SIZE];
     for i in 0..count {
         read_exact_or(&mut r, &mut rec, "record")?;
@@ -371,7 +382,7 @@ impl<W: Write> ChunkedTraceWriter<W> {
     /// [`io::ErrorKind::InvalidInput`] if `name` exceeds
     /// [`MAX_NAME_LEN`] bytes.
     pub fn new(mut w: W, name: &str, total_accesses: u64) -> io::Result<Self> {
-        if name.len() > MAX_NAME_LEN as usize {
+        if name.len() > usize::from(MAX_NAME_LEN) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 format!("trace name is {} bytes (max {MAX_NAME_LEN})", name.len()),
@@ -381,7 +392,8 @@ impl<W: Write> ChunkedTraceWriter<W> {
         w.write_all(&CHUNK_VERSION.to_le_bytes())?;
         w.write_all(&0u32.to_le_bytes())?; // flags
         w.write_all(&total_accesses.to_le_bytes())?;
-        w.write_all(&(name.len() as u16).to_le_bytes())?;
+        let name_len = u16::try_from(name.len()).expect("checked against MAX_NAME_LEN");
+        w.write_all(&name_len.to_le_bytes())?;
         w.write_all(name.as_bytes())?;
         Ok(Self { w, declared: total_accesses, written: 0, buf: Vec::new() })
     }
@@ -405,8 +417,9 @@ impl<W: Write> ChunkedTraceWriter<W> {
                 ),
             ));
         }
-        for frame in accesses.chunks(MAX_CHUNK_RECORDS as usize) {
-            self.w.write_all(&(frame.len() as u32).to_le_bytes())?;
+        for frame in accesses.chunks(max_chunk_records()) {
+            let frame_len = u32::try_from(frame.len()).expect("frame chunked to MAX_CHUNK_RECORDS");
+            self.w.write_all(&frame_len.to_le_bytes())?;
             self.buf.clear();
             self.buf.reserve(frame.len() * RECORD_SIZE);
             for a in frame {
@@ -533,7 +546,7 @@ impl<R: Read> ChunkedTraceReader<R> {
                 max: MAX_NAME_LEN as u64,
             });
         }
-        let mut name_bytes = vec![0u8; name_len as usize];
+        let mut name_bytes = vec![0u8; usize::from(name_len)];
         read_exact_or(&mut r, &mut name_bytes, "name")?;
         let name = String::from_utf8(name_bytes).map_err(|_| ParseTraceError::BadName)?;
         Ok(Self {
@@ -612,7 +625,8 @@ impl<R: Read> AccessStream for ChunkedTraceReader<R> {
             if self.frame_left == 0 && !self.open_frame() {
                 break;
             }
-            let n = (max - out.len()).min(self.frame_left as usize);
+            let frame_left = usize::try_from(self.frame_left).expect("u32 count fits usize");
+            let n = (max - out.len()).min(frame_left);
             self.buf.resize(n * RECORD_SIZE, 0);
             if let Err(e) = read_exact_or(&mut self.r, &mut self.buf, "record") {
                 self.fail(e);
@@ -639,7 +653,7 @@ impl<R: Read> AccessStream for ChunkedTraceReader<R> {
                 break;
             }
             self.seen += n as u64;
-            self.frame_left -= n as u32;
+            self.frame_left -= u32::try_from(n).expect("n clamped to frame_left");
         }
         out.len()
     }
@@ -662,9 +676,9 @@ impl<R: Read> AccessStream for ChunkedTraceReader<R> {
 pub fn read_chunked<R: Read>(r: R) -> Result<Trace, ParseTraceError> {
     let mut reader = ChunkedTraceReader::new(r)?;
     let total = reader.total_len().unwrap_or(0);
-    let mut accesses = Vec::with_capacity(total.min(MAX_CHUNK_RECORDS as u64) as usize);
+    let mut accesses = Vec::with_capacity(clamped_capacity(total));
     let mut chunk = Vec::new();
-    while reader.next_chunk(MAX_CHUNK_RECORDS as usize, &mut chunk) > 0 {
+    while reader.next_chunk(max_chunk_records(), &mut chunk) > 0 {
         accesses.extend_from_slice(&chunk);
     }
     if let Some(e) = reader.error.take() {
